@@ -1,0 +1,22 @@
+"""Figure 11: theoretical vs actual approximation ratios."""
+
+from repro.core.peel import peel_densest
+from repro.datasets.registry import load
+from repro.experiments import fig11
+
+
+def test_fig11_approximation_ratios(benchmark, emit, bench_scale):
+    rows = fig11.run(("Netscience", "As-Caida"), h_values=(2, 3, 4), scale=bench_scale)
+    emit(
+        "fig11_ratios",
+        rows,
+        "Figure 11 -- approximation ratios: theoretical 1/h vs actual (CoreApp, PeelApp)",
+    )
+    # paper shape: actual ratios far above the theoretical guarantee
+    for r in rows:
+        assert r["core_app_ratio"] >= r["theoretical"] - 1e-9
+        assert r["core_app_ratio"] <= 1.0 + 1e-9
+        assert r["peel_ratio"] <= 1.0 + 1e-9
+
+    graph = load("Netscience", bench_scale)
+    benchmark(peel_densest, graph, 3)

@@ -1,0 +1,19 @@
+"""Figure 12: CoreExact vs CoreApp running time."""
+
+from repro.core.core_app import core_app_densest
+from repro.datasets.registry import load
+from repro.experiments import fig12
+
+
+def test_fig12_core_exact_vs_core_app(benchmark, emit, bench_scale):
+    rows = fig12.run(("Ca-HepTh", "As-Caida"), h_values=(2, 3), scale=bench_scale)
+    emit(
+        "fig12_exact_vs_app",
+        rows,
+        "Figure 12 -- CoreExact vs CoreApp (seconds; the price of exactness)",
+    )
+    # paper shape: CoreApp is faster than CoreExact on every instance
+    assert all(r["core_app_s"] <= r["core_exact_s"] for r in rows)
+
+    graph = load("As-Caida", bench_scale)
+    benchmark(core_app_densest, graph, 2)

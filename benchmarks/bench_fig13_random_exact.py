@@ -1,0 +1,16 @@
+"""Figure 13: exact CDS algorithms on the random-graph families."""
+
+from repro.core.core_exact import core_exact_densest
+from repro.datasets.registry import load
+from repro.experiments import fig13_14
+
+
+def test_fig13_random_graphs_exact(benchmark, emit, bench_scale):
+    rows = fig13_14.run_exact(h_values=(2, 3), scale=bench_scale * 0.5)
+    emit(
+        "fig13_random_exact",
+        rows,
+        "Figure 13 -- exact CDS on SSCA / ER / R-MAT (seconds)",
+    )
+    graph = load("SSCA", bench_scale * 0.5)
+    benchmark(core_exact_densest, graph, 3)

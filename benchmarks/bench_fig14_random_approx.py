@@ -1,0 +1,21 @@
+"""Figure 14: approximation CDS algorithms on the random-graph families."""
+
+from repro.core.core_app import core_app_densest
+from repro.datasets.registry import load
+from repro.experiments import fig13_14
+
+
+def test_fig14_random_graphs_approx(benchmark, emit, bench_scale):
+    rows = fig13_14.run_approx(h_values=(2, 3), scale=bench_scale * 0.5)
+    emit(
+        "fig14_random_approx",
+        rows,
+        "Figure 14 -- approximation CDS on SSCA / ER / R-MAT "
+        "(core_coverage = |kmax-core| / n; ER's flatness weakens pruning)",
+    )
+    coverage = {(r["family"], r["h"]): r["core_coverage"] for r in rows}
+    # paper shape: ER's kmax-core covers far more of the graph than SSCA's
+    assert coverage[("ER", 2)] > coverage[("SSCA", 2)]
+
+    graph = load("R-MAT", bench_scale * 0.5)
+    benchmark(core_app_densest, graph, 3)

@@ -1,0 +1,17 @@
+"""Figure 16: approximation PDS algorithms per pattern."""
+
+from repro.core.pds import pattern_core_app_densest
+from repro.datasets.registry import load
+from repro.experiments import fig15_16
+from repro.patterns.pattern import get_pattern
+
+
+def test_fig16_pds_approx(benchmark, emit, bench_scale):
+    rows = fig15_16.run_approx(("DBLP", "Cit-Patents"), scale=bench_scale * 0.2)
+    emit(
+        "fig16_pds_approx",
+        rows,
+        "Figure 16 -- approximation PDS: PeelApp / IncApp / CoreApp per pattern (seconds)",
+    )
+    graph = load("DBLP", bench_scale * 0.2)
+    benchmark(pattern_core_app_densest, graph, get_pattern("2-star"))

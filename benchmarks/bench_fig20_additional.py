@@ -1,0 +1,16 @@
+"""Figure 20 (Appendix E): approximation CDS on the additional datasets."""
+
+from repro.core.core_app import core_app_densest
+from repro.datasets.registry import load
+from repro.experiments import fig20
+
+
+def test_fig20_additional_datasets(benchmark, emit, bench_scale):
+    rows = fig20.run(scale=bench_scale * 0.5, h_values=(2, 3))
+    emit(
+        "fig20_additional",
+        rows,
+        "Figure 20 -- approximation CDS on Flickr / Google / Foursquare surrogates (seconds)",
+    )
+    graph = load("Flickr", bench_scale * 0.5)
+    benchmark(core_app_densest, graph, 3)

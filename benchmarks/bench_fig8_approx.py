@@ -1,0 +1,33 @@
+"""Figure 8(f)-(j): approximation CDS algorithms on the large surrogates."""
+
+from repro.core.core_app import core_app_densest
+from repro.datasets.registry import load
+from repro.experiments import fig8
+from repro.experiments.plotting import grouped_bar_chart
+
+
+def test_fig8_approx(benchmark, emit, bench_scale):
+    rows = fig8.run_approx(h_values=(2, 3), scale=bench_scale * 0.5)
+    chart = "\n\n".join(
+        grouped_bar_chart(
+            [r for r in rows if r["dataset"] == name],
+            "h",
+            ["nucleus_s", "peel_s", "inc_s", "core_app_s"],
+            title=f"[{name}] log-scale runtime",
+        )
+        for name in {r["dataset"] for r in rows}
+    )
+    emit(
+        "fig8_approx",
+        rows,
+        "Figure 8(f-j) -- approximation CDS: Nucleus / PeelApp / IncApp / CoreApp (seconds)",
+        chart=chart,
+    )
+    # shape check: CoreApp beats PeelApp in aggregate on skewed graphs
+    total_peel = sum(r["peel_s"] for r in rows)
+    total_app = sum(r["core_app_s"] for r in rows)
+    assert total_app < total_peel
+
+    graph = load("DBLP", bench_scale * 0.5)
+    result = benchmark(core_app_densest, graph, 3)
+    assert result.density >= 0.0

@@ -1,0 +1,25 @@
+"""Figure 9: flow-network sizes across CoreExact's binary-search iterations."""
+
+from repro.core.core_exact import core_exact_densest
+from repro.datasets.registry import load
+from repro.experiments import fig9
+
+
+def test_fig9_flow_network_sizes(benchmark, emit, bench_scale):
+    rows = []
+    for name in ("Ca-HepTh", "As-Caida"):
+        rows.extend(fig9.run(name, h_values=(2, 3), scale=bench_scale))
+    emit(
+        "fig9_flow_sizes",
+        rows,
+        "Figure 9 -- flow-network node counts per iteration (-1 = Exact's full-graph network)",
+    )
+    # shape check: the located network (iter 0) never exceeds the full one
+    for name in ("Ca-HepTh", "As-Caida"):
+        for h in (2, 3):
+            sizes = {r["iteration"]: r["network_nodes"] for r in rows if r["dataset"] == name and r["h"] == h}
+            if 0 in sizes:
+                assert sizes[0] <= sizes[-1]
+
+    graph = load("Ca-HepTh", bench_scale)
+    benchmark(core_exact_densest, graph, 2)

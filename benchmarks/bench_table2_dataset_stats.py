@@ -1,0 +1,17 @@
+"""Table 2 / Figure 18: dataset statistics table."""
+
+from repro.core.kcore import core_decomposition
+from repro.datasets.registry import load
+from repro.experiments import table2
+
+
+def test_table2_dataset_stats(benchmark, emit, bench_scale):
+    rows = table2.run(scale=bench_scale)
+    emit(
+        "table2_dataset_stats",
+        rows,
+        "Table 2 / Fig 18 -- dataset statistics (surrogates; paper sizes for reference)",
+    )
+    graph = load("As-Caida", bench_scale)
+    result = benchmark(core_decomposition, graph)
+    assert max(result.values(), default=0) > 0

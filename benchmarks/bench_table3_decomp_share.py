@@ -1,0 +1,17 @@
+"""Table 3: percentage of CoreExact time spent in core decomposition."""
+
+from repro.core.clique_core import clique_core_decomposition
+from repro.datasets.registry import load
+from repro.experiments import table3
+
+
+def test_table3_decomposition_share(benchmark, emit, bench_scale):
+    rows = table3.run(("As-733", "Ca-HepTh"), h_values=(2, 3, 4), scale=bench_scale)
+    emit(
+        "table3_decomp_share",
+        rows,
+        "Table 3 -- % of CoreExact time spent in (k, Psi)-core decomposition",
+    )
+    graph = load("As-733", bench_scale)
+    result = benchmark(clique_core_decomposition, graph, 3)
+    assert result.kmax >= 0

@@ -1,0 +1,17 @@
+"""Table 4: EMcore vs CoreApp for the classical kmax-core."""
+
+from repro.baselines.emcore import emcore_densest
+from repro.datasets.registry import load
+from repro.experiments import table4
+
+
+def test_table4_emcore_vs_coreapp(benchmark, emit, bench_scale):
+    rows = table4.run(scale=bench_scale * 0.5)
+    emit(
+        "table4_emcore",
+        rows,
+        "Table 4 -- EMcore vs CoreApp, kmax-core computation (seconds)",
+    )
+    graph = load("DBLP", bench_scale * 0.5)
+    result = benchmark(emcore_densest, graph)
+    assert result.stats["kmax"] > 0

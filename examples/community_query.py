@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Query-constrained densest subgraph (Section 6.3 variant).
+
+"Find the densest community that contains these particular members" --
+the query-vertex variant of Tsourakakis et al. that Section 6.3 shows
+cores can localise.  We plant two communities of different densities,
+then ask for the densest subgraph around members of each, and around a
+peripheral vertex:
+
+    python examples/community_query.py
+"""
+
+import itertools
+
+from repro.core.query_variant import query_densest
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.graph import Graph
+
+
+def build_world() -> Graph:
+    graph = erdos_renyi_gnm(300, 500, seed=21)
+    # community A: a K10 on vertices 0..9
+    for i, j in itertools.combinations(range(10), 2):
+        graph.add_edge(i, j)
+    # community B: a looser blob on 20..39 (ring + chords)
+    blob = list(range(20, 40))
+    for offset in (1, 2, 3):
+        for i, v in enumerate(blob):
+            graph.add_edge(v, blob[(i + offset) % len(blob)])
+    return graph
+
+
+def main() -> None:
+    graph = build_world()
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}\n")
+
+    for label, query in [
+        ("member of the tight community (vertex 0)", [0]),
+        ("member of the loose community (vertex 25)", [25]),
+        ("two members of the loose community", [25, 30]),
+        ("a peripheral vertex (vertex 150)", [150]),
+    ]:
+        result = query_densest(graph, query)
+        print(f"query: {label}")
+        print(
+            f"  densest containing it: size={result.size} "
+            f"density={result.density:.3f} "
+            f"(binary-search iterations: {result.iterations})"
+        )
+        inside = [q for q in query if q in result.vertices]
+        assert len(inside) == len(query), "query vertices must be inside"
+        print()
+
+    print(
+        "The tight community's member gets exactly its K10 (density 4.5).\n"
+        "Other queries return the K10 *plus* the query vertex: the problem\n"
+        "(as in Tsourakakis et al.) does not require connectivity, so the\n"
+        "densest set containing an outside vertex is the global densest\n"
+        "subgraph with that vertex thrown in -- its density drops by the\n"
+        "dilution factor |D|/(|D|+|Q|), which is what the numbers show."
+    )
+
+
+if __name__ == "__main__":
+    main()

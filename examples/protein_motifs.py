@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Case study: pattern-densest subnetworks in a PPI-style graph (Fig. 21).
+
+The paper's yeast case study computes the PDS for several patterns on a
+protein-protein interaction network; each pattern's densest subnetwork
+corresponds to different functional classes (Appendix F).  We reproduce
+the mechanics on the Yeast-PPI surrogate: the PDS's for edge, c3-star,
+2-triangle and 4-clique have distinct shapes and memberships.
+
+    python examples/protein_motifs.py
+"""
+
+from repro import densest_subgraph
+from repro.datasets.registry import load
+
+PATTERNS = ("edge", "2-star", "c3-star", "diamond", "2-triangle", "4-clique")
+
+
+def main() -> None:
+    graph = load("Yeast-PPI")
+    print(f"Yeast-PPI surrogate: n={graph.num_vertices} m={graph.num_edges}\n")
+
+    results = {}
+    for name in PATTERNS:
+        result = densest_subgraph(graph, name, method="core-exact")
+        results[name] = result
+        print(
+            f"{name:12s} density={result.density:8.3f} "
+            f"size={result.size:4d} method={result.method}"
+        )
+
+    print("\npairwise overlap of PDS memberships (Jaccard):")
+    names = list(results)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            va, vb = results[a].vertices, results[b].vertices
+            jaccard = len(va & vb) / len(va | vb) if va | vb else 0.0
+            print(f"  {a:12s} vs {b:12s}: {jaccard:.2f}")
+
+    print(
+        "\nInterpretation (paper, Appendix F): distinct patterns isolate\n"
+        "distinct subnetworks, each a candidate functional module."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Application: feed-delivery hub selection via densest subgraphs.
+
+The paper's introduction motivates DSD with *social piggybacking*
+(Gionis et al., PVLDB'13): in a social platform, materialising the feed
+exchange inside a very dense subgraph lets many event deliveries ride
+on few hub pairs, raising system throughput.
+
+This example runs the pipeline end to end on a skewed social surrogate:
+
+1. find the densest subgraph (the hub cluster),
+2. compare edges-per-vertex served inside the hub vs the global graph,
+3. iteratively extract the top-3 disjoint dense clusters (peel & repeat)
+   and report the cumulative coverage of high-traffic edges -- the
+   quantity a piggybacking scheduler cares about.
+
+    python examples/social_piggybacking.py
+"""
+
+from repro import densest_subgraph
+from repro.datasets.registry import load
+
+
+def main() -> None:
+    graph = load("Friendster", scale=0.2)
+    print(f"social surrogate: n={graph.num_vertices} m={graph.num_edges}")
+    print(f"global edges/vertex: {graph.edge_density():.2f}\n")
+
+    work = graph.copy()
+    total_edges = graph.num_edges
+    covered = 0
+    print("rank  size  density  edges  cumulative-coverage")
+    for rank in range(1, 4):
+        result = densest_subgraph(work, psi=2, method="core-app")
+        cluster = graph.subgraph(result.vertices)
+        covered += cluster.num_edges
+        print(
+            f"{rank:4d}  {cluster.num_vertices:4d}  {result.density:7.2f}  "
+            f"{cluster.num_edges:5d}  {covered / total_edges:6.1%}"
+        )
+        for v in result.vertices:
+            if v in work:
+                work.remove_vertex(v)
+        if work.num_edges == 0:
+            break
+
+    print(
+        "\nA piggybacking scheduler would materialise exchange inside these"
+        "\nclusters first: a small fraction of vertices covers an outsized"
+        "\nshare of the edge traffic (the denser, the better the amortisation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro -- reproduction of "Efficient Algorithms for Densest Subgraph
+Discovery" (Fang, Yu, Cheng, Lakshmanan, Lin; PVLDB 12(11), 2019).
+
+Core-based exact and approximation algorithms for edge-, h-clique- and
+pattern-densest subgraph discovery, with every substrate (graph store,
+clique/pattern enumeration, max-flow, core decompositions, baselines,
+dataset surrogates) implemented from scratch.
+
+Quickstart
+----------
+>>> from repro import Graph, densest_subgraph
+>>> g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
+>>> result = densest_subgraph(g, psi="triangle", method="core-exact")
+>>> sorted(result.vertices)
+[0, 1, 2]
+"""
+
+from .api import densest_subgraph, resolve_pattern
+from .core.exact import DensestSubgraphResult
+from .graph.graph import Graph
+from .patterns.pattern import Pattern, get_pattern, pattern_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Pattern",
+    "DensestSubgraphResult",
+    "densest_subgraph",
+    "get_pattern",
+    "pattern_names",
+    "resolve_pattern",
+    "__version__",
+]

@@ -1,0 +1,107 @@
+"""Top-level convenience API.
+
+One entry point, :func:`densest_subgraph`, dispatches across the
+paper's algorithm matrix:
+
+=============  ===========================  ================================
+``method``     Ψ an h-clique                Ψ a general pattern
+=============  ===========================  ================================
+``"exact"``    Algorithm 1 (Exact)          Algorithm 8 (PExact)
+``"core-exact"``  Algorithm 4 (CoreExact)   CorePExact (construct+)
+``"peel"``     Algorithm 2 (PeelApp)        pattern PeelApp
+``"inc-app"``  Algorithm 5 (IncApp)         pattern IncApp
+``"core-app"`` Algorithm 6 (CoreApp)        pattern CoreApp
+``"auto"``     CoreExact if small, else CoreApp
+=============  ===========================  ================================
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .core.core_app import core_app_densest
+from .core.core_exact import core_exact_densest
+from .core.exact import DensestSubgraphResult, exact_densest
+from .core.inc_app import inc_app_densest
+from .core.pds import (
+    core_p_exact_densest,
+    p_exact_densest,
+    pattern_core_app_densest,
+    pattern_inc_app_densest,
+    pattern_peel_densest,
+)
+from .core.peel import peel_densest
+from .graph.graph import Graph
+from .patterns.pattern import Pattern, get_pattern
+
+PatternLike = Union[int, str, Pattern]
+
+#: Above this vertex count, ``method="auto"`` switches from the exact
+#: CoreExact to the CoreApp approximation (the paper's Section-8 advice:
+#: exact for small-to-moderate graphs, CoreApp beyond).
+AUTO_EXACT_LIMIT = 5_000
+
+
+def resolve_pattern(psi: PatternLike) -> Pattern:
+    """Normalise an ``int`` (h-clique), catalogue name, or Pattern."""
+    if isinstance(psi, Pattern):
+        return psi
+    if isinstance(psi, int):
+        from .patterns.pattern import clique_pattern
+
+        return clique_pattern(psi)
+    return get_pattern(psi)
+
+
+def densest_subgraph(
+    graph: Graph,
+    psi: PatternLike = 2,
+    method: str = "auto",
+) -> DensestSubgraphResult:
+    """Find the Ψ-densest subgraph of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    psi:
+        The motif: an int ``h`` for the h-clique, a Figure-7 pattern
+        name (e.g. ``"diamond"``), or a :class:`Pattern`.
+    method:
+        One of ``auto``, ``exact``, ``core-exact``, ``peel``,
+        ``inc-app``, ``core-app``.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import complete_graph
+    >>> densest_subgraph(complete_graph(5), 3, method="core-exact").density
+    2.0
+    """
+    pattern = resolve_pattern(psi)
+    if method == "auto":
+        method = "core-exact" if graph.num_vertices <= AUTO_EXACT_LIMIT else "core-app"
+
+    if pattern.is_clique():
+        h = pattern.size
+        dispatch = {
+            "exact": lambda: exact_densest(graph, h),
+            "core-exact": lambda: core_exact_densest(graph, h),
+            "peel": lambda: peel_densest(graph, h),
+            "inc-app": lambda: inc_app_densest(graph, h),
+            "core-app": lambda: core_app_densest(graph, h),
+        }
+    else:
+        dispatch = {
+            "exact": lambda: p_exact_densest(graph, pattern),
+            "core-exact": lambda: core_p_exact_densest(graph, pattern),
+            "peel": lambda: pattern_peel_densest(graph, pattern),
+            "inc-app": lambda: pattern_inc_app_densest(graph, pattern),
+            "core-app": lambda: pattern_core_app_densest(graph, pattern),
+        }
+    try:
+        run = dispatch[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(dispatch) + ['auto']}"
+        ) from None
+    return run()

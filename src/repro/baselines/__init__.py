@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: Nucleus and EMcore."""
+
+from .emcore import emcore_densest, emcore_kmax_core
+from .nucleus import nucleus_core_numbers, nucleus_densest
+
+__all__ = ["emcore_densest", "emcore_kmax_core", "nucleus_core_numbers", "nucleus_densest"]

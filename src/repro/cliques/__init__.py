@@ -1,0 +1,5 @@
+"""h-clique enumeration and clique-degree machinery."""
+
+from .enumeration import CliqueIndex, clique_degrees, count_cliques, enumerate_cliques
+
+__all__ = ["CliqueIndex", "clique_degrees", "count_cliques", "enumerate_cliques"]

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: core-based DSD algorithms."""
+
+from .clique_core import (
+    CliqueCoreResult,
+    clique_core_decomposition,
+    clique_core_subgraph,
+    kmax_clique_core,
+)
+from .core_app import core_app_densest
+from .core_exact import core_exact_densest
+from .density import clique_density, edge_density
+from .exact import DensestSubgraphResult, exact_densest
+from .inc_app import inc_app_densest
+from .kcore import core_decomposition, degeneracy, k_core, max_core
+from .peel import peel_densest
+
+__all__ = [
+    "CliqueCoreResult",
+    "DensestSubgraphResult",
+    "clique_core_decomposition",
+    "clique_core_subgraph",
+    "clique_density",
+    "core_app_densest",
+    "core_decomposition",
+    "core_exact_densest",
+    "degeneracy",
+    "edge_density",
+    "exact_densest",
+    "inc_app_densest",
+    "k_core",
+    "kmax_clique_core",
+    "max_core",
+    "peel_densest",
+]

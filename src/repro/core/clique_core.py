@@ -1,0 +1,150 @@
+"""(k, Ψ)-core decomposition for h-cliques (Algorithm 3 of the paper).
+
+Definition 6: the (k, Ψ)-core ``R_k`` is the largest subgraph in which
+every vertex participates in at least ``k`` instances of the h-clique
+``Ψ``.  Peeling vertices of minimum clique-degree with a bucket queue
+yields the clique-core number of every vertex, exactly as the classical
+Batagelj–Zaveršnik algorithm does for edges.
+
+The decomposition additionally tracks the h-clique-density of every
+residual graph encountered during the peel.  The best residual density
+``ρ'`` is the lower bound that powers Pruning1 of CoreExact
+(Section 6.1), so we return it alongside the core numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cliques.enumeration import CliqueIndex
+from ..graph.graph import Graph, Vertex
+
+
+@dataclass
+class CliqueCoreResult:
+    """Output of the (k, Ψ)-core decomposition.
+
+    Attributes
+    ----------
+    core:
+        Clique-core number of every vertex.
+    kmax:
+        Maximum clique-core number (0 for a graph with no instances).
+    best_residual_density:
+        ``ρ'``: the highest h-clique-density among all residual graphs
+        seen while peeling (Pruning1 lower bound on ``ρ_opt``).
+    best_residual_vertices:
+        The vertex set achieving ``ρ'``.
+    peel_order:
+        Vertices in removal order (useful for tests and baselines).
+    """
+
+    core: dict[Vertex, int]
+    kmax: int
+    best_residual_density: float
+    best_residual_vertices: set[Vertex]
+    peel_order: list[Vertex] = field(default_factory=list)
+
+    def core_subgraph(self, graph: Graph, k: int) -> Graph:
+        """The (k, Ψ)-core subgraph of ``graph``."""
+        return graph.subgraph(v for v, c in self.core.items() if c >= k)
+
+    def kmax_core(self, graph: Graph) -> Graph:
+        """The (kmax, Ψ)-core subgraph of ``graph``."""
+        return self.core_subgraph(graph, self.kmax)
+
+
+def clique_core_decomposition(
+    graph: Graph,
+    h: int,
+    index: CliqueIndex | None = None,
+) -> CliqueCoreResult:
+    """Algorithm 3: clique-core numbers of all vertices.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    h:
+        Clique size of Ψ (h >= 2; ``h == 2`` reduces to the classical
+        k-core, which :mod:`repro.core.kcore` computes faster).
+    index:
+        Optionally a pre-built :class:`CliqueIndex` (it is consumed:
+        instances are peeled).  Built from scratch when omitted.
+
+    Notes
+    -----
+    Vertices that participate in no instance get core number 0.  Cores
+    are nested (property 1 of Section 5.1); tests verify this.
+    """
+    if h < 2:
+        raise ValueError("h-clique requires h >= 2")
+    if index is None:
+        index = CliqueIndex(graph, h)
+    return peel_index_decomposition(graph, index)
+
+
+def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResult:
+    """Algorithm-3 peeling over any materialised instance index.
+
+    Shared engine for clique cores and pattern cores: the index only
+    needs to know which vertices each live instance spans, so the same
+    bucket-queue peel decomposes (k, Ψ)-cores for h-cliques and for
+    arbitrary patterns alike.
+    """
+    degree = index.degrees()
+    n_alive = graph.num_vertices
+    core: dict[Vertex, int] = {}
+    peel_order: list[Vertex] = []
+
+    best_density = (index.num_alive / n_alive) if n_alive else 0.0
+    best_vertices = set(graph.vertices())
+
+    max_deg = max(degree.values(), default=0)
+    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
+    for v, d in degree.items():
+        buckets[d].add(v)
+
+    removed: set[Vertex] = set()
+    current = 0
+    alive: set[Vertex] = set(graph.vertices())
+    for _ in range(n_alive):
+        while current <= max_deg and not buckets[current]:
+            current += 1
+        if current > max_deg:
+            break
+        v = buckets[current].pop()
+        core[v] = current
+        removed.add(v)
+        alive.discard(v)
+        peel_order.append(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u not in removed and degree[u] > current:
+                    buckets[degree[u]].discard(u)
+                    degree[u] -= 1
+                    buckets[degree[u]].add(u)
+        if alive:
+            density = index.num_alive / len(alive)
+            if density > best_density:
+                best_density = density
+                best_vertices = set(alive)
+    kmax = max(core.values(), default=0)
+    return CliqueCoreResult(
+        core=core,
+        kmax=kmax,
+        best_residual_density=best_density,
+        best_residual_vertices=best_vertices,
+        peel_order=peel_order,
+    )
+
+
+def clique_core_subgraph(graph: Graph, h: int, k: int) -> Graph:
+    """Convenience: the (k, Ψ)-core of ``graph`` for the h-clique Ψ."""
+    return clique_core_decomposition(graph, h).core_subgraph(graph, k)
+
+
+def kmax_clique_core(graph: Graph, h: int) -> tuple[int, Graph]:
+    """``(kmax, (kmax, Ψ)-core)`` via full decomposition (IncApp's engine)."""
+    result = clique_core_decomposition(graph, h)
+    return result.kmax, result.kmax_core(graph)

@@ -1,0 +1,69 @@
+"""Classical k-core decomposition (Batagelj–Zaveršnik, O(m)).
+
+Definition 5 of the paper: the k-core ``H_k`` is the largest subgraph in
+which every vertex has degree at least ``k``; the core number of a
+vertex is the largest ``k`` of a k-core containing it.  Used directly
+for the EDS case (Ψ = edge) and to derive the clique-degree upper bound
+``γ(v, Ψ) = C(core(v), h-1)`` inside CoreApp (Algorithm 6).
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph, Vertex
+
+
+def core_decomposition(graph: Graph) -> dict[Vertex, int]:
+    """Core number of every vertex via bin-sort peeling.
+
+    Returns
+    -------
+    dict mapping each vertex to its core number; empty graph -> empty dict.
+
+    >>> from repro.graph.graph import complete_graph
+    >>> core_decomposition(complete_graph(4)) == {0: 3, 1: 3, 2: 3, 3: 3}
+    True
+    """
+    degree = {v: graph.degree(v) for v in graph}
+    if not degree:
+        return {}
+    max_deg = max(degree.values())
+    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
+    for v, d in degree.items():
+        buckets[d].add(v)
+    core: dict[Vertex, int] = {}
+    removed: set[Vertex] = set()
+    current = 0
+    for _ in range(len(degree)):
+        while current <= max_deg and not buckets[current]:
+            current += 1
+        v = buckets[current].pop()
+        core[v] = current
+        removed.add(v)
+        for u in graph.neighbors(v):
+            if u not in removed and degree[u] > current:
+                buckets[degree[u]].discard(u)
+                degree[u] -= 1
+                buckets[degree[u]].add(u)
+        current = max(current - 1, 0)
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """The k-core subgraph ``H_k`` (possibly empty, possibly disconnected)."""
+    core = core_decomposition(graph)
+    return graph.subgraph(v for v, c in core.items() if c >= k)
+
+
+def max_core(graph: Graph) -> tuple[int, Graph]:
+    """``(kmax, H_kmax)``: the maximum core number and its core subgraph."""
+    core = core_decomposition(graph)
+    if not core:
+        return 0, Graph()
+    kmax = max(core.values())
+    return kmax, graph.subgraph(v for v, c in core.items() if c >= kmax)
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy of the graph = classical ``kmax``."""
+    core = core_decomposition(graph)
+    return max(core.values(), default=0)

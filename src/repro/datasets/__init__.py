@@ -1,0 +1,5 @@
+"""Surrogate dataset registry (see DESIGN.md §5 for substitutions)."""
+
+from .registry import DatasetSpec, dataset_names, get_spec, load
+
+__all__ = ["DatasetSpec", "dataset_names", "get_spec", "load"]

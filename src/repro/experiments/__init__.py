@@ -1,0 +1,35 @@
+"""Experiment modules, one per paper table/figure (see DESIGN.md §4)."""
+
+from . import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13_14,
+    fig15_16,
+    fig20,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .harness import format_table, print_table, timed
+
+__all__ = [
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13_14",
+    "fig15_16",
+    "fig20",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "format_table",
+    "print_table",
+    "timed",
+]

@@ -1,0 +1,76 @@
+"""Command-line runner for the experiment artefacts.
+
+Regenerate any paper table/figure without pytest:
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig8-exact --scale 0.5
+    python -m repro.experiments all --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13_14,
+    fig15_16,
+    fig20,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from .harness import print_table
+
+_ARTEFACTS = {
+    "table2": ("Table 2 / Fig 18 -- dataset statistics", lambda s: table2.run(scale=s)),
+    "fig8-exact": ("Figure 8(a-e) -- exact CDS efficiency", lambda s: fig8.run_exact(scale=s)),
+    "fig8-approx": ("Figure 8(f-j) -- approx CDS efficiency", lambda s: fig8.run_approx(scale=s)),
+    "fig9": ("Figure 9 -- flow-network sizes per iteration", lambda s: fig9.run(scale=s)),
+    "fig10": ("Figure 10 -- pruning ablation", lambda s: fig10.run(scale=s)),
+    "table3": ("Table 3 -- core-decomposition time share", lambda s: table3.run(scale=s)),
+    "table4": ("Table 4 -- EMcore vs CoreApp", lambda s: table4.run(scale=s)),
+    "fig11": ("Figure 11 -- approximation ratios", lambda s: fig11.run(scale=s)),
+    "fig12": ("Figure 12 -- CoreExact vs CoreApp", lambda s: fig12.run(scale=s)),
+    "fig13": ("Figure 13 -- random graphs, exact", lambda s: fig13_14.run_exact(scale=s)),
+    "fig14": ("Figure 14 -- random graphs, approx", lambda s: fig13_14.run_approx(scale=s)),
+    "table5": ("Table 5 -- CDS/PDS densities vs EDS", lambda s: table5.run(scale=s)),
+    "fig15": ("Figure 15 -- exact PDS efficiency", lambda s: fig15_16.run_exact(scale=s)),
+    "fig16": ("Figure 16 -- approx PDS efficiency", lambda s: fig15_16.run_approx(scale=s)),
+    "fig20": ("Figure 20 -- additional datasets", lambda s: fig20.run(scale=s)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures on surrogate datasets.",
+    )
+    parser.add_argument("artefact", nargs="?", help="artefact id, or 'all'")
+    parser.add_argument("--scale", type=float, default=0.25, help="surrogate scale (default 0.25)")
+    parser.add_argument("--list", action="store_true", help="list artefact ids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.artefact:
+        for key, (title, _) in _ARTEFACTS.items():
+            print(f"{key:12s} {title}")
+        return 0
+
+    targets = list(_ARTEFACTS) if args.artefact == "all" else [args.artefact]
+    for key in targets:
+        if key not in _ARTEFACTS:
+            print(f"unknown artefact {key!r}; use --list", file=sys.stderr)
+            return 2
+        title, runner = _ARTEFACTS[key]
+        print_table(runner(args.scale), title=title)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Figure 12: CoreExact vs CoreApp running time.
+
+The paper's cost-of-exactness plot: CoreApp skips the flow phase
+entirely, so it wins by a widening margin as h grows.
+"""
+
+from __future__ import annotations
+
+from ..core.core_app import core_app_densest
+from ..core.core_exact import core_exact_densest
+from ..datasets.registry import load
+from .harness import timed
+
+
+def run(
+    names: tuple[str, ...] = ("Ca-HepTh", "As-Caida"),
+    h_values: tuple[int, ...] = (2, 3, 4),
+    scale: float = 1.0,
+) -> list[dict]:
+    """One row per (dataset, h): CoreExact seconds vs CoreApp seconds."""
+    rows = []
+    for name in names:
+        graph = load(name, scale)
+        for h in h_values:
+            _, exact_s = timed(core_exact_densest, graph, h)
+            _, app_s = timed(core_app_densest, graph, h)
+            rows.append(
+                {
+                    "dataset": name,
+                    "h": h,
+                    "core_exact_s": exact_s,
+                    "core_app_s": app_s,
+                    "speedup": exact_s / app_s if app_s > 0 else float("inf"),
+                }
+            )
+    return rows

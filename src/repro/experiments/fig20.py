@@ -1,0 +1,16 @@
+"""Figure 20 (Appendix E): approximation CDS on the additional datasets.
+
+Flickr / Google / Foursquare surrogates, approximation trio -- the
+paper reports results "highly similar" to Figure 8(f)-(j), and the
+expectation here is the same CoreApp-fastest ordering.
+"""
+
+from __future__ import annotations
+
+from ..datasets.registry import dataset_names
+from .fig8 import run_approx
+
+
+def run(scale: float = 1.0, h_values: tuple[int, ...] = (2, 3, 4)) -> list[dict]:
+    """Approximation timings on the Appendix-E datasets."""
+    return run_approx(dataset_names("extra"), h_values=h_values, scale=scale, include_nucleus=False)

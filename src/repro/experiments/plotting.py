@@ -1,0 +1,78 @@
+"""ASCII chart rendering for the figure-type artefacts.
+
+The paper's efficiency figures are log-scale bar charts.  Terminal
+benchmarks cannot draw pixels, so this module renders the same series
+as horizontal log-scale ASCII bars -- close enough to eyeball the
+orders-of-magnitude gaps the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def _log_width(value: float, lo: float, hi: float, width: int) -> int:
+    """Map ``value`` into [1, width] on a log scale over [lo, hi]."""
+    if value <= 0:
+        return 0
+    if hi <= lo:
+        return width
+    position = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    return max(1, min(width, round(1 + position * (width - 1))))
+
+
+def bar_chart(
+    series: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "s",
+) -> str:
+    """Render one group of labelled values as log-scale bars.
+
+    >>> print(bar_chart({"Exact": 10.0, "CoreExact": 0.01}, width=20))  # doctest: +SKIP
+    Exact      ################.... 10 s
+    CoreExact  #                    0.01 s
+    """
+    positives = [v for v in series.values() if v > 0]
+    if not positives:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lo, hi = min(positives), max(positives)
+    label_width = max(len(k) for k in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = "#" * _log_width(value, lo, hi, width)
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)} {value:.4g} {unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[dict],
+    group_key: str,
+    value_keys: Sequence[str],
+    title: str = "",
+    width: int = 40,
+    unit: str = "s",
+) -> str:
+    """Render figure-style grouped series (one block per group value).
+
+    ``rows`` are the experiment rows; ``group_key`` picks the x-axis
+    (e.g. ``"h"``) and ``value_keys`` the series (e.g. ``["exact_s",
+    "core_exact_s"]``).  All bars share one log scale so groups are
+    comparable, as in the paper's figures.
+    """
+    values = [row[k] for row in rows for k in value_keys if row.get(k, 0) > 0]
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lo, hi = min(values), max(values)
+    label_width = max(len(k) for k in value_keys)
+    lines = [title] if title else []
+    for row in rows:
+        lines.append(f"{group_key}={row[group_key]}")
+        for key in value_keys:
+            value = row.get(key)
+            if value is None:
+                continue
+            bar = "#" * _log_width(value, lo, hi, width)
+            lines.append(f"  {key.ljust(label_width)}  {bar.ljust(width)} {value:.4g} {unit}")
+    return "\n".join(lines)

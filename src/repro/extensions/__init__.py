@@ -1,0 +1,14 @@
+"""Extensions beyond the paper (clearly labelled; see DESIGN.md §7)."""
+
+from .greedy_pp import greedy_pp_densest
+from .size_constrained import densest_at_least, densest_at_most
+from .streaming import streaming_densest
+from .topk import top_k_densest
+
+__all__ = [
+    "densest_at_least",
+    "densest_at_most",
+    "greedy_pp_densest",
+    "streaming_densest",
+    "top_k_densest",
+]

@@ -1,0 +1,64 @@
+"""Greedy++ iterated peeling (extension).
+
+The paper's related work points at the convex-programming view of
+densest subgraph (Danisch, Chan & Sozio, WWW'17).  Greedy++ (Boob et
+al.) is the lightweight member of that family: run Charikar's peel
+repeatedly, but break ties by a *load* carried over from previous
+rounds -- each round peels the vertex minimising ``load[v] +
+degree[v]``.  The best residual subgraph across rounds converges to the
+exact EDS as rounds grow, closing most of the 0.5-approximation gap
+after a handful of iterations.
+
+Included as a labelled extension: it gives the test suite an
+independent near-exact reference that does not use max-flow at all.
+"""
+
+from __future__ import annotations
+
+from ..core.exact import DensestSubgraphResult
+from ..graph.graph import Graph, Vertex
+
+
+def greedy_pp_densest(graph: Graph, rounds: int = 8) -> DensestSubgraphResult:
+    """Greedy++ for edge density: ``rounds`` load-guided peels.
+
+    Parameters
+    ----------
+    rounds:
+        Number of peeling passes; 1 reduces exactly to Charikar's
+        greedy.  A few dozen rounds typically reach the optimum on
+        small graphs.
+
+    Raises
+    ------
+    ValueError
+        If ``rounds < 1``.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    n = graph.num_vertices
+    if n == 0:
+        return DensestSubgraphResult(set(), 0.0, "Greedy++")
+
+    load: dict[Vertex, float] = {v: 0.0 for v in graph}
+    best_density = graph.edge_density()
+    best_vertices = set(graph.vertices())
+
+    for _ in range(rounds):
+        work = graph.copy()
+        alive = set(work.vertices())
+        while len(alive) > 1:
+            v = min(alive, key=lambda u: load[u] + work.degree(u))
+            load[v] += work.degree(v)
+            work.remove_vertex(v)
+            alive.discard(v)
+            density = work.edge_density()
+            if density > best_density:
+                best_density = density
+                best_vertices = set(alive)
+    return DensestSubgraphResult(
+        vertices=best_vertices,
+        density=best_density,
+        method="Greedy++",
+        iterations=rounds,
+    )

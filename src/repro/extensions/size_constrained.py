@@ -1,0 +1,94 @@
+"""Size-constrained densest subgraph heuristics (future-work extension).
+
+The paper's conclusion names "densest subgraphs with size constraints"
+as future work.  Both constrained variants are NP-hard [5, 4], so this
+module provides the standard greedy heuristics, clearly labelled as
+extensions beyond the paper's algorithmic contributions:
+
+* :func:`densest_at_least` -- among subgraphs with >= ``k`` vertices,
+  Charikar-style peeling restricted to never report smaller subgraphs
+  (a 1/3-approximation for edge density, Andersen & Chellapilla).
+* :func:`densest_at_most` -- a peel-down heuristic for the <= ``k``
+  variant (no approximation guarantee exists for polynomial greedy).
+"""
+
+from __future__ import annotations
+
+from ..cliques.enumeration import CliqueIndex
+from ..core.exact import DensestSubgraphResult
+from ..graph.graph import Graph
+
+
+def densest_at_least(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
+    """Greedy densest subgraph with at least ``k`` vertices.
+
+    Peels minimum-Ψ-degree vertices and returns the densest residual
+    graph that still has >= ``k`` vertices.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` exceeds the number of vertices.
+    """
+    n = graph.num_vertices
+    if k > n:
+        raise ValueError(f"k={k} exceeds |V|={n}")
+    if k < 1:
+        raise ValueError("k must be positive")
+    index = CliqueIndex(graph, h)
+    degree = index.degrees()
+    alive = set(graph.vertices())
+    best_density = index.num_alive / n if n else 0.0
+    best_vertices = set(alive)
+    while len(alive) > k:
+        v = min(alive, key=lambda u: degree[u])
+        alive.discard(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u in alive:
+                    degree[u] -= 1
+        density = index.num_alive / len(alive)
+        if density > best_density:
+            best_density = density
+            best_vertices = set(alive)
+    return DensestSubgraphResult(
+        vertices=best_vertices,
+        density=best_density,
+        method=f"DensestAtLeast({k})",
+    )
+
+
+def densest_at_most(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
+    """Greedy densest subgraph with at most ``k`` vertices (heuristic).
+
+    Peels minimum-Ψ-degree vertices until at most ``k`` remain, then
+    returns the densest residual graph seen at size <= ``k``.
+    """
+    n = graph.num_vertices
+    if k < 1:
+        raise ValueError("k must be positive")
+    index = CliqueIndex(graph, h)
+    degree = index.degrees()
+    alive = set(graph.vertices())
+    best_density = -1.0
+    best_vertices: set = set()
+    if len(alive) <= k and alive:
+        best_density = index.num_alive / len(alive)
+        best_vertices = set(alive)
+    while len(alive) > 1:
+        v = min(alive, key=lambda u: degree[u])
+        alive.discard(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u in alive:
+                    degree[u] -= 1
+        if alive and len(alive) <= k:
+            density = index.num_alive / len(alive)
+            if density > best_density:
+                best_density = density
+                best_vertices = set(alive)
+    return DensestSubgraphResult(
+        vertices=best_vertices,
+        density=max(best_density, 0.0),
+        method=f"DensestAtMost({k})",
+    )

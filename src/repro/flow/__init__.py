@@ -1,0 +1,6 @@
+"""Max-flow / min-cut substrate and DSD network builders."""
+
+from . import builders, dinic, push_relabel
+from .network import FlowNetwork
+
+__all__ = ["FlowNetwork", "dinic", "push_relabel", "builders"]

@@ -1,0 +1,184 @@
+"""Flow-network constructions for the exact DSD algorithms.
+
+Four builders, one per construction in the paper:
+
+* :func:`build_eds_network` -- Goldberg's simplified network for the
+  edge-density case (Section 4.1, remark after Algorithm 1).
+* :func:`build_cds_network` -- Algorithm 1 lines 5-15: vertex nodes plus
+  one node per (h-1)-clique instance.
+* :func:`build_pds_network` -- PExact (Algorithm 8): one node per
+  pattern instance, arcs ``v -> ψ`` capacity 1, ``ψ -> v`` capacity
+  ``|V_Ψ| - 1``.
+* :func:`build_pds_network_grouped` -- ``construct+`` (Algorithm 7):
+  instances sharing a vertex set collapse into a group node ``g`` with
+  arcs ``v -> g`` capacity ``|g|`` and ``g -> v`` capacity
+  ``|g|(|V_Ψ| - 1)``.
+
+All builders answer the decision question "is there a subgraph with
+Ψ-density > α?": after a max-flow run, the source side of the min cut
+minus ``s`` induces such a subgraph iff it is non-empty (Lemma 14).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..cliques.enumeration import clique_degrees, enumerate_cliques
+from ..graph.graph import Graph, Vertex
+from .network import FlowNetwork
+
+#: Sentinel source / sink node labels (tuples cannot collide with vertices
+#: used by this package's builders, which wrap vertices as ("v", x)).
+SOURCE = ("s",)
+SINK = ("t",)
+
+INF = float("inf")
+
+
+def _vertex_node(v: Vertex) -> tuple:
+    return ("v", v)
+
+
+def _instance_node(idx: int) -> tuple:
+    return ("i", idx)
+
+
+def vertices_of_cut(cut_source_side: Iterable) -> set[Vertex]:
+    """Extract graph vertices from the source side of a min cut."""
+    return {node[1] for node in cut_source_side if isinstance(node, tuple) and node[0] == "v"}
+
+
+def build_eds_network(graph: Graph, alpha: float) -> FlowNetwork:
+    """Goldberg's EDS network for density guess ``alpha`` (Ψ = edge).
+
+    ``s -> v`` capacity ``m``; ``v -> t`` capacity ``m + 2α - deg(v)``;
+    each edge contributes unit arcs in both directions.
+    """
+    m = graph.num_edges
+    net = FlowNetwork(SOURCE, SINK)
+    for v in graph:
+        net.add_arc(SOURCE, _vertex_node(v), float(m))
+        net.add_arc(_vertex_node(v), SINK, m + 2.0 * alpha - graph.degree(v))
+    for u, v in graph.edges():
+        net.add_arc(_vertex_node(u), _vertex_node(v), 1.0)
+        net.add_arc(_vertex_node(v), _vertex_node(u), 1.0)
+    return net
+
+
+def build_cds_network(
+    graph: Graph,
+    h: int,
+    alpha: float,
+    h_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
+    sub_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
+    degrees: Optional[Mapping[Vertex, int]] = None,
+) -> FlowNetwork:
+    """Algorithm 1 network for the h-clique Ψ (h >= 3) and guess ``alpha``.
+
+    Parameters
+    ----------
+    h_cliques / sub_cliques / degrees:
+        Optional precomputed h-clique instances, (h-1)-clique instances
+        and clique-degrees; recomputed when omitted.  CoreExact passes
+        them in so each binary-search iteration only pays network
+        assembly, not clique enumeration.
+    """
+    if h < 3:
+        raise ValueError("use build_eds_network for h == 2")
+    if h_cliques is None:
+        h_cliques = list(enumerate_cliques(graph, h))
+    if sub_cliques is None:
+        sub_cliques = list(enumerate_cliques(graph, h - 1))
+    if degrees is None:
+        degrees = defaultdict(int)
+        for inst in h_cliques:
+            for v in inst:
+                degrees[v] += 1
+
+    net = FlowNetwork(SOURCE, SINK)
+    for v in graph:
+        net.add_arc(SOURCE, _vertex_node(v), float(degrees.get(v, 0)))
+        net.add_arc(_vertex_node(v), SINK, alpha * h)
+
+    psi_id: dict[frozenset, int] = {}
+    for idx, psi in enumerate(sub_cliques):
+        psi_id[frozenset(psi)] = idx
+        node = _instance_node(idx)
+        for v in psi:
+            net.add_arc(node, _vertex_node(v), INF)
+
+    # v -> ψ arcs: for each h-clique K and member v, ψ = K \ {v}.
+    for inst in h_cliques:
+        members = frozenset(inst)
+        for v in inst:
+            idx = psi_id.get(members - {v})
+            if idx is not None:
+                net.add_arc(_vertex_node(v), _instance_node(idx), 1.0)
+    return net
+
+
+def build_pds_network(
+    graph: Graph,
+    pattern_size: int,
+    alpha: float,
+    instances: Sequence[frozenset],
+    degrees: Optional[Mapping[Vertex, int]] = None,
+) -> FlowNetwork:
+    """PExact network (Algorithm 8) for a general pattern.
+
+    ``instances`` are the pattern instances as vertex frozensets (the
+    flow construction only needs the vertex membership of each
+    instance).  Multiple instances on the same vertex set appear as
+    separate nodes -- that is exactly the redundancy ``construct+``
+    removes.
+    """
+    if degrees is None:
+        degrees = defaultdict(int)
+        for inst in instances:
+            for v in inst:
+                degrees[v] += 1
+    net = FlowNetwork(SOURCE, SINK)
+    for v in graph:
+        net.add_arc(SOURCE, _vertex_node(v), float(degrees.get(v, 0)))
+        net.add_arc(_vertex_node(v), SINK, alpha * pattern_size)
+    for idx, inst in enumerate(instances):
+        node = _instance_node(idx)
+        for v in inst:
+            net.add_arc(_vertex_node(v), node, 1.0)
+            net.add_arc(node, _vertex_node(v), float(pattern_size - 1))
+    return net
+
+
+def build_pds_network_grouped(
+    graph: Graph,
+    pattern_size: int,
+    alpha: float,
+    instances: Sequence[frozenset],
+    degrees: Optional[Mapping[Vertex, int]] = None,
+) -> FlowNetwork:
+    """``construct+`` network (Algorithm 7): instance groups by vertex set.
+
+    Groups of instances sharing one vertex set become a single node
+    ``g``; ``v -> g`` has capacity ``|g|`` and ``g -> v`` capacity
+    ``|g|(|V_Ψ| - 1)`` (Lemma 11 proves cut equivalence with PExact).
+    """
+    if degrees is None:
+        degrees = defaultdict(int)
+        for inst in instances:
+            for v in inst:
+                degrees[v] += 1
+    groups: dict[frozenset, int] = defaultdict(int)
+    for inst in instances:
+        groups[frozenset(inst)] += 1
+
+    net = FlowNetwork(SOURCE, SINK)
+    for v in graph:
+        net.add_arc(SOURCE, _vertex_node(v), float(degrees.get(v, 0)))
+        net.add_arc(_vertex_node(v), SINK, alpha * pattern_size)
+    for idx, (members, size) in enumerate(groups.items()):
+        node = _instance_node(idx)
+        for v in members:
+            net.add_arc(_vertex_node(v), node, float(size))
+            net.add_arc(node, _vertex_node(v), float(size * (pattern_size - 1)))
+    return net

@@ -1,0 +1,18 @@
+"""Graph substrate: data structure, I/O, statistics, generators."""
+
+from .graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+from .io import read_edge_list, write_edge_list
+from .stats import GraphStats, diameter, power_law_alpha
+
+__all__ = [
+    "Graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "GraphStats",
+    "diameter",
+    "power_law_alpha",
+]

@@ -1,0 +1,161 @@
+"""Compressed-sparse-row graph backend (numpy-accelerated fast paths).
+
+Pure-Python adjacency sets are flexible but slow on graphs with
+millions of edges -- the known weak spot of a Python reproduction of a
+systems paper.  This module provides a read-only CSR view of a
+:class:`~repro.graph.graph.Graph` plus numpy-backed implementations of
+the two hottest kernels:
+
+* :func:`core_numbers` -- Batagelj–Zaveršnik over flat arrays,
+* :func:`triangle_degrees` -- per-vertex triangle counts via sorted
+  adjacency-array intersections.
+
+Both are exact drop-in replacements for their set-based counterparts
+(the test suite verifies equality); the ablation bench quantifies the
+speedup.  numpy is an optional dependency: importing this module
+without it raises ``ImportError`` with a clear message.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment-specific
+    raise ImportError("repro.graph.csr requires numpy") from exc
+
+from .graph import Graph, Vertex
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of an undirected graph.
+
+    Attributes
+    ----------
+    indptr / indices:
+        Standard CSR arrays: neighbours of internal vertex ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]``, sorted ascending.
+    vertices:
+        External vertex labels, indexed by internal id.
+    """
+
+    __slots__ = ("indptr", "indices", "vertices", "_index_of")
+
+    def __init__(self, graph: Graph):
+        self.vertices: list[Vertex] = sorted(graph.vertices(), key=str)
+        self._index_of = {v: i for i, v in enumerate(self.vertices)}
+        n = len(self.vertices)
+        degrees = np.zeros(n + 1, dtype=np.int64)
+        for v in self.vertices:
+            degrees[self._index_of[v] + 1] = graph.degree(v)
+        self.indptr = np.cumsum(degrees)
+        self.indices = np.empty(int(self.indptr[-1]), dtype=np.int64)
+        cursor = self.indptr[:-1].copy()
+        for v in self.vertices:
+            i = self._index_of[v]
+            nbrs = sorted(self._index_of[u] for u in graph.neighbors(v))
+            span = len(nbrs)
+            self.indices[cursor[i] : cursor[i] + span] = nbrs
+            cursor[i] += span
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indptr[-1]) // 2
+
+    def degree_array(self) -> "np.ndarray":
+        """Degrees of all vertices in internal-id order."""
+        return np.diff(self.indptr)
+
+    def neighbors_of(self, internal_id: int) -> "np.ndarray":
+        """Sorted neighbour ids of an internal vertex id."""
+        return self.indices[self.indptr[internal_id] : self.indptr[internal_id + 1]]
+
+    def index_of(self, vertex: Vertex) -> int:
+        """Internal id of an external vertex label."""
+        return self._index_of[vertex]
+
+    def relabel(self, values: Sequence) -> dict[Vertex, object]:
+        """Map an internal-id-ordered sequence back to external labels."""
+        return {self.vertices[i]: values[i] for i in range(len(self.vertices))}
+
+
+def core_numbers(csr: CSRGraph) -> dict[Vertex, int]:
+    """Classical core numbers over the CSR arrays (O(n + m)).
+
+    Returns the same mapping as
+    :func:`repro.core.kcore.core_decomposition` (tested), with the
+    bucket queue held in flat numpy arrays -- the standard array-based
+    Batagelj–Zaveršnik layout.
+    """
+    n = csr.num_vertices
+    if n == 0:
+        return {}
+    degree = csr.degree_array().copy()
+    max_deg = int(degree.max(initial=0))
+
+    # counting sort of vertices by degree
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    for d in degree:
+        bin_start[d + 1] += 1
+    bin_start = np.cumsum(bin_start)
+    position = np.empty(n, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    fill = bin_start[:-1].copy()
+    for v in range(n):
+        position[v] = fill[degree[v]]
+        order[position[v]] = v
+        fill[degree[v]] += 1
+
+    core = degree.copy()
+    indptr, indices = csr.indptr, csr.indices
+    bin_ptr = bin_start[:-1].copy()
+    for i in range(n):
+        v = order[i]
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            if core[u] > core[v]:
+                # swap u with the first vertex of its bucket, shrink it
+                du = core[u]
+                first = bin_ptr[du]
+                w = order[first]
+                if w != u:
+                    pu = position[u]
+                    order[first], order[pu] = u, w
+                    position[u], position[w] = first, pu
+                bin_ptr[du] += 1
+                core[u] -= 1
+    return csr.relabel([int(c) for c in core])
+
+
+def triangle_degrees(csr: CSRGraph) -> dict[Vertex, int]:
+    """Per-vertex triangle counts via sorted-array intersections.
+
+    Equivalent to ``clique_degrees(graph, 3)`` (tested).  Each edge
+    (u, v) with u < v contributes |N(u) ∩ N(v)| triangles; the
+    intersection runs in numpy over the sorted adjacency slices.
+    """
+    n = csr.num_vertices
+    counts = np.zeros(n, dtype=np.int64)
+    indptr, indices = csr.indptr, csr.indices
+    for u in range(n):
+        nbrs_u = indices[indptr[u] : indptr[u + 1]]
+        higher = nbrs_u[nbrs_u > u]
+        for v in higher:
+            nbrs_v = indices[indptr[v] : indptr[v + 1]]
+            common = np.intersect1d(nbrs_u, nbrs_v, assume_unique=True)
+            # count each triangle once at its (u, v) edge with w > v to
+            # avoid triple counting, then credit all three corners
+            for w in common[common > v]:
+                counts[u] += 1
+                counts[v] += 1
+                counts[w] += 1
+    return csr.relabel([int(c) for c in counts])
+
+
+def triangle_count(csr: CSRGraph) -> int:
+    """Total number of triangles ``μ(G, K3)``."""
+    return sum(triangle_degrees(csr).values()) // 3

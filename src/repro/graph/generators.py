@@ -1,0 +1,292 @@
+"""Synthetic graph generators.
+
+The paper evaluates on three GTgraph random-graph families (Section 8):
+
+* **SSCA** -- a union of random-sized planted cliques (SSCA#2 kernel),
+* **ER** -- the Erdős–Rényi uniform model,
+* **R-MAT** -- the recursive-matrix power-law model.
+
+All three are reimplemented here from scratch and seeded, plus two
+power-law family generators (Chung–Lu and Holme–Kim) used to build
+surrogates for the paper's real datasets (see ``repro.datasets``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from .graph import Graph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed)
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: Optional[int] = None) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` exceeds the number of vertex pairs.
+    """
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges among {n} vertices (max {max_edges})")
+    rng = _rng(seed)
+    graph = Graph(vertices=range(n))
+    placed = 0
+    while placed < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            placed += 1
+    return graph
+
+
+def erdos_renyi_gnp(n: int, p: float, seed: Optional[int] = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)``: each pair is an edge with probability ``p``.
+
+    Uses the skipping technique (geometric jumps) so the cost is
+    proportional to the number of edges generated, not ``n**2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must lie in [0, 1]")
+    graph = Graph(vertices=range(n))
+    if p == 0.0 or n < 2:
+        return graph
+    rng = _rng(seed)
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w += 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def rmat(
+    n: int,
+    m: int,
+    a: float = 0.45,
+    b: float = 0.15,
+    c: float = 0.15,
+    d: float = 0.25,
+    seed: Optional[int] = None,
+) -> Graph:
+    """R-MAT recursive-matrix graph (Chakrabarti et al.).
+
+    ``n`` is rounded up to the next power of two internally; vertices that
+    receive no edge remain isolated, matching GTgraph's behaviour.  The
+    default quadrant probabilities are GTgraph's defaults and produce a
+    power-law degree distribution.
+
+    Duplicate edges and self-loops are regenerated so the result has
+    exactly ``m`` distinct edges (or stops early if the model saturates).
+    """
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise ValueError("quadrant probabilities must sum to 1")
+    rng = _rng(seed)
+    levels = max(1, math.ceil(math.log2(max(n, 2))))
+    size = 1 << levels
+    graph = Graph(vertices=range(n))
+    attempts = 0
+    max_attempts = 50 * m + 1000
+    placed = 0
+    while placed < m and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        span = size
+        for _ in range(levels):
+            span //= 2
+            r = rng.random()
+            if r < a:
+                pass
+            elif r < a + b:
+                v += span
+            elif r < a + b + c:
+                u += span
+            else:
+                u += span
+                v += span
+        u %= n
+        v %= n
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            placed += 1
+    return graph
+
+
+def ssca(
+    n: int,
+    max_clique_size: int = 20,
+    seed: Optional[int] = None,
+    inter_clique_prob: float = 0.001,
+) -> Graph:
+    """SSCA#2-style graph: random-sized planted cliques plus sparse links.
+
+    Vertices are partitioned into cliques whose sizes are uniform in
+    ``[1, max_clique_size]``; a sparse random set of inter-clique edges is
+    added (probability ``inter_clique_prob`` per sampled pair), mirroring
+    the GTgraph SSCA#2 generator the paper uses.
+    """
+    if max_clique_size < 1:
+        raise ValueError("max_clique_size must be >= 1")
+    rng = _rng(seed)
+    graph = Graph(vertices=range(n))
+    cliques: list[list[int]] = []
+    start = 0
+    while start < n:
+        size = rng.randint(1, max_clique_size)
+        members = list(range(start, min(start + size, n)))
+        cliques.append(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(u, v)
+        start += size
+    # Sparse inter-clique edges: sample ~ inter_clique_prob * n * max_clique_size pairs.
+    trials = int(inter_clique_prob * n * max_clique_size) + len(cliques)
+    for _ in range(trials):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def chung_lu(weights: Sequence[float], seed: Optional[int] = None) -> Graph:
+    """Chung–Lu random graph with expected degrees ``weights``.
+
+    Pair ``(u, v)`` is an edge with probability
+    ``min(1, w_u * w_v / sum(w))``.  Implemented with the efficient
+    sorted-weights skipping procedure (Miller & Hagberg), O(n + m).
+    """
+    n = len(weights)
+    graph = Graph(vertices=range(n))
+    if n < 2:
+        return graph
+    rng = _rng(seed)
+    order = sorted(range(n), key=lambda i: -weights[i])
+    w = [weights[i] for i in order]
+    total = sum(w)
+    if total <= 0:
+        return graph
+    for i in range(n - 1):
+        if w[i] <= 0:
+            break
+        factor = w[i] / total
+        p = min(w[i + 1] * factor, 1.0)
+        j = i + 1
+        while j < n and p > 0:
+            if p < 1.0:
+                r = 1.0 - rng.random()  # in (0, 1], keeps log(r) finite
+                j += int(math.log(r) / math.log(1.0 - p))
+            if j < n:
+                q = min(w[j] * factor, 1.0)
+                if rng.random() < q / p:
+                    graph.add_edge(order[i], order[j])
+                p = q
+                j += 1
+    return graph
+
+
+def power_law_weights(n: int, alpha: float, mean_degree: float) -> list[float]:
+    """Expected-degree sequence ``w_i ~ i^(-1/(alpha-1))`` rescaled to a mean.
+
+    Suitable as input to :func:`chung_lu`; ``alpha`` is the target
+    power-law exponent (> 2 keeps the mean finite).
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1")
+    gamma = 1.0 / (alpha - 1.0)
+    raw = [(i + 1.0) ** (-gamma) for i in range(n)]
+    scale = mean_degree * n / sum(raw)
+    return [x * scale for x in raw]
+
+
+def holme_kim(
+    n: int,
+    edges_per_vertex: int,
+    triangle_prob: float = 0.5,
+    seed: Optional[int] = None,
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Grows a preferential-attachment graph; after each preferential edge,
+    with probability ``triangle_prob`` the next edge closes a triangle
+    with a neighbour of the previous target.  This yields the skewed
+    degree distribution plus a locally dense core that the paper's real
+    datasets exhibit, making it the backbone of our dataset surrogates.
+    """
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    if n < edges_per_vertex + 1:
+        raise ValueError("need n > edges_per_vertex")
+    rng = _rng(seed)
+    graph = Graph(vertices=range(n))
+    # Seed with a small clique so preferential attachment has targets.
+    seed_size = edges_per_vertex + 1
+    for i in range(seed_size):
+        for j in range(i + 1, seed_size):
+            graph.add_edge(i, j)
+    # repeated-endpoint list for preferential sampling
+    endpoints: list[int] = []
+    for u, v in graph.edges():
+        endpoints.extend((u, v))
+    for new in range(seed_size, n):
+        targets: set[int] = set()
+        prev_target: Optional[int] = None
+        while len(targets) < edges_per_vertex:
+            if (
+                prev_target is not None
+                and rng.random() < triangle_prob
+                and graph.degree(prev_target) > 0
+            ):
+                # triangle-formation step: attach to a neighbour of prev.
+                candidates = [w for w in graph.neighbors(prev_target) if w != new and w not in targets]
+                if candidates:
+                    choice = rng.choice(candidates)
+                    targets.add(choice)
+                    prev_target = choice
+                    continue
+            choice = endpoints[rng.randrange(len(endpoints))]
+            if choice != new and choice not in targets:
+                targets.add(choice)
+                prev_target = choice
+        for t in targets:
+            graph.add_edge(new, t)
+            endpoints.extend((new, t))
+    return graph
+
+
+def planted_clique(
+    background: Graph,
+    clique_size: int,
+    seed: Optional[int] = None,
+) -> tuple[Graph, list[int]]:
+    """Plant a clique on random existing vertices of ``background``.
+
+    Returns the modified copy and the list of clique members.  Used by
+    tests and surrogates to guarantee a known dense region.
+    """
+    if clique_size > background.num_vertices:
+        raise ValueError("clique larger than the graph")
+    rng = _rng(seed)
+    graph = background.copy()
+    members = rng.sample(sorted(graph.vertices()), clique_size)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            graph.add_edge(u, v)
+    return graph, members

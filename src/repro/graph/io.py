@@ -1,0 +1,87 @@
+"""Reading and writing graphs as plain-text edge lists.
+
+The on-disk format is the one used by SNAP / GTgraph dumps that the paper
+consumes: one edge per line, two whitespace-separated vertex ids, with
+``#``-prefixed comment lines ignored.  Vertices parse as ``int`` when
+possible, otherwise stay strings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO, Union
+
+from .graph import Graph, Vertex
+
+PathLike = Union[str, Path]
+
+
+def _parse_vertex(token: str) -> Vertex:
+    """Parse a vertex token, preferring ``int`` ids."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
+    """Read a graph from an edge-list file or open text stream.
+
+    Self-loops in the input are dropped (the data model is a simple
+    graph); duplicate edges collapse naturally.
+
+    Parameters
+    ----------
+    source:
+        A filesystem path or a readable text stream.
+
+    Raises
+    ------
+    ValueError
+        On a malformed line (fewer than two tokens).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read_stream(handle)
+    return _read_stream(source)
+
+
+def _read_stream(handle: TextIO) -> Graph:
+    graph = Graph()
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise ValueError(f"line {lineno}: expected two vertex ids, got {line!r}")
+        u, v = _parse_vertex(tokens[0]), _parse_vertex(tokens[1])
+        if u == v:
+            continue  # drop self-loops: simple-graph model
+        graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(graph: Graph, target: Union[PathLike, TextIO]) -> None:
+    """Write ``graph`` as an edge list (one ``u v`` pair per line).
+
+    Isolated vertices are not representable in this format and are
+    therefore not round-tripped; callers that need them should persist a
+    vertex list separately.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write_stream(graph, handle)
+        return
+    _write_stream(graph, target)
+
+
+def _write_stream(graph: Graph, handle: TextIO) -> None:
+    handle.write(f"# undirected simple graph: n={graph.num_vertices} m={graph.num_edges}\n")
+    for u, v in graph.edges():
+        handle.write(f"{u} {v}\n")
+
+
+def from_edges(edges: Iterable[tuple[Vertex, Vertex]]) -> Graph:
+    """Build a graph from an in-memory edge iterable (convenience alias)."""
+    return Graph(edges)

@@ -1,0 +1,117 @@
+"""Graph statistics used in the paper's dataset table (Appendix A).
+
+For every dataset the paper reports: number of vertices/edges, number of
+connected components, (maximum-component) diameter, the decay exponent
+``alpha`` of a power-law fit to the degree distribution, ``kmax`` and the
+size of the (kmax, triangle)-core.  This module provides the first four;
+the core-related figures come from :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from .graph import Graph, Vertex
+
+
+def eccentricity(graph: Graph, source: Vertex) -> int:
+    """Largest BFS distance from ``source`` within its component."""
+    dist = {source: 0}
+    queue = deque([source])
+    far = 0
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                far = max(far, dist[w])
+                queue.append(w)
+    return far
+
+
+def diameter(graph: Graph, exact_threshold: int = 2000) -> int:
+    """Diameter of the largest connected component.
+
+    For components with at most ``exact_threshold`` vertices the diameter
+    is computed exactly (all-sources BFS).  Larger components use the
+    two-sweep / iterative-fringe heuristic, which is exact on trees and a
+    tight lower bound in general -- adequate for the descriptive dataset
+    table the paper presents.
+    """
+    if graph.num_vertices == 0:
+        return 0
+    components = graph.connected_components()
+    largest = max(components, key=len)
+    sub = graph.subgraph(largest)
+    if len(largest) <= exact_threshold:
+        return max(eccentricity(sub, v) for v in sub)
+    # Two-sweep heuristic with a few restarts.
+    start = next(iter(sub))
+    best = 0
+    for _ in range(4):
+        dist = _bfs_distances(sub, start)
+        far, ecc = max(dist.items(), key=lambda item: item[1])
+        best = max(best, ecc)
+        if far == start:
+            break
+        start = far
+    return best
+
+
+def _bfs_distances(graph: Graph, source: Vertex) -> dict[Vertex, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist
+
+
+def power_law_alpha(graph: Graph, dmin: int = 1) -> float:
+    """Maximum-likelihood estimate of the power-law exponent ``alpha``.
+
+    Fits ``P(deg = x) ~ x^-alpha`` over vertices with degree >= ``dmin``
+    using the discrete Clauset--Shalizi--Newman MLE
+    ``alpha = 1 + n / sum(ln(d_i / (dmin - 0.5)))``.
+
+    Returns ``float('nan')`` when fewer than two vertices qualify.
+    """
+    degrees = [graph.degree(v) for v in graph if graph.degree(v) >= dmin]
+    if len(degrees) < 2:
+        return float("nan")
+    denom = sum(math.log(d / (dmin - 0.5)) for d in degrees)
+    if denom <= 0:
+        return float("nan")
+    return 1.0 + len(degrees) / denom
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map ``degree -> number of vertices with that degree``."""
+    return dict(Counter(graph.degree(v) for v in graph))
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The dataset-table row of Appendix A (core columns filled by callers)."""
+
+    num_vertices: int
+    num_edges: int
+    num_components: int
+    diameter: int
+    power_law_alpha: float
+
+    @classmethod
+    def of(cls, graph: Graph) -> "GraphStats":
+        """Compute the structural statistics of ``graph``."""
+        return cls(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            num_components=len(graph.connected_components()),
+            diameter=diameter(graph),
+            power_law_alpha=power_law_alpha(graph),
+        )

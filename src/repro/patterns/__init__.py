@@ -1,0 +1,24 @@
+"""Pattern machinery: catalogue, instance enumeration, degrees."""
+
+from .degree import c4_degrees, fast_pattern_degrees, pattern_degrees, star_degrees
+from .isomorphism import (
+    count_pattern_instances,
+    enumerate_pattern_instances,
+    pattern_density,
+)
+from .pattern import Pattern, clique_pattern, get_pattern, pattern_names, star_pattern
+
+__all__ = [
+    "Pattern",
+    "c4_degrees",
+    "clique_pattern",
+    "count_pattern_instances",
+    "enumerate_pattern_instances",
+    "fast_pattern_degrees",
+    "get_pattern",
+    "pattern_degrees",
+    "pattern_density",
+    "pattern_names",
+    "star_degrees",
+    "star_pattern",
+]

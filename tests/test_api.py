@@ -1,0 +1,60 @@
+"""Tests for the top-level dispatch API."""
+
+import pytest
+
+from repro import Graph, densest_subgraph, get_pattern, resolve_pattern
+from repro.api import AUTO_EXACT_LIMIT
+from repro.graph.graph import complete_graph
+
+from .conftest import random_graph
+
+
+class TestResolvePattern:
+    def test_int_becomes_clique(self):
+        assert resolve_pattern(3).name == "triangle"
+        assert resolve_pattern(2).name == "edge"
+
+    def test_name_lookup(self):
+        assert resolve_pattern("diamond").size == 4
+
+    def test_pattern_passthrough(self):
+        p = get_pattern("basket")
+        assert resolve_pattern(p) is p
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", ["exact", "core-exact", "peel", "inc-app", "core-app"])
+    def test_clique_methods(self, method):
+        g = random_graph(15, 45, seed=1)
+        result = densest_subgraph(g, 3, method=method)
+        assert result.density >= 0.0
+        assert result.vertices
+
+    @pytest.mark.parametrize("method", ["exact", "core-exact", "peel", "inc-app", "core-app"])
+    def test_pattern_methods(self, method):
+        g = random_graph(14, 40, seed=2)
+        result = densest_subgraph(g, "diamond", method=method)
+        assert result.density >= 0.0
+
+    def test_exact_methods_agree_across_routes(self):
+        g = random_graph(14, 40, seed=3)
+        via_clique = densest_subgraph(g, 3, method="core-exact")
+        via_pattern = densest_subgraph(g, "triangle", method="exact")
+        assert via_clique.density == pytest.approx(via_pattern.density, abs=1e-9)
+
+    def test_auto_uses_exact_for_small(self):
+        result = densest_subgraph(complete_graph(5), 2)
+        assert result.method == "CoreExact"
+        assert result.density == pytest.approx(2.0)
+
+    def test_auto_threshold_exposed(self):
+        assert AUTO_EXACT_LIMIT > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            densest_subgraph(Graph([(0, 1)]), 2, method="quantum")
+
+    def test_quickstart_docstring_example(self):
+        g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
+        result = densest_subgraph(g, psi="triangle", method="core-exact")
+        assert sorted(result.vertices) == [0, 1, 2]

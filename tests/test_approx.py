@@ -1,0 +1,126 @@
+"""Tests for the approximation algorithms: PeelApp, IncApp, CoreApp."""
+
+import pytest
+
+from repro.cliques.enumeration import CliqueIndex, count_cliques
+from repro.core.core_app import core_app_densest
+from repro.core.core_exact import core_exact_densest
+from repro.core.inc_app import inc_app_densest
+from repro.core.peel import peel_densest
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+class TestPeelApp:
+    def test_exact_on_clique(self):
+        result = peel_densest(complete_graph(6), 2)
+        assert result.density == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_approximation_guarantee(self, h):
+        # Lemma: peel density >= rho_opt / h
+        for seed in range(5):
+            g = random_graph(22, 70, seed=seed)
+            optimum = core_exact_densest(g, h).density
+            approx = peel_densest(g, h).density
+            assert approx <= optimum + 1e-9
+            assert approx >= optimum / h - 1e-9
+
+    def test_charikar_half_guarantee_often_tight(self):
+        # for h=2 the classic bound is 1/2; actual ratios are much better
+        g = random_graph(30, 120, seed=7)
+        optimum = core_exact_densest(g, 2).density
+        assert peel_densest(g, 2).density >= optimum / 2 - 1e-9
+
+    def test_density_matches_returned_vertices(self):
+        g = random_graph(20, 55, seed=2)
+        result = peel_densest(g, 3)
+        sub = g.subgraph(result.vertices)
+        assert count_cliques(sub, 3) / sub.num_vertices == pytest.approx(result.density)
+
+    def test_no_instances(self):
+        result = peel_densest(Graph([(0, 1), (1, 2)]), 3)
+        assert result.density == 0.0
+
+    def test_empty(self):
+        assert peel_densest(Graph(), 2).density == 0.0
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            peel_densest(Graph(), 1)
+
+    def test_accepts_prebuilt_index(self):
+        g = random_graph(15, 45, seed=3)
+        direct = peel_densest(g, 3)
+        via_index = peel_densest(g, 3, index=CliqueIndex(g, 3))
+        assert direct.density == pytest.approx(via_index.density)
+
+
+class TestIncApp:
+    def test_returns_kmax_core(self, paper_figure3_graph):
+        result = inc_app_densest(paper_figure3_graph, 3)
+        assert result.vertices == {"A", "B", "C", "D"}
+        assert result.stats["kmax"] == 3
+
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_lemma8_guarantee(self, h):
+        for seed in range(5):
+            g = random_graph(22, 70, seed=seed + 10)
+            optimum = core_exact_densest(g, h).density
+            approx = inc_app_densest(g, h).density
+            assert approx <= optimum + 1e-9
+            if optimum > 0:
+                assert approx >= optimum / h - 1e-9
+
+    def test_density_lower_bound_from_theorem1(self):
+        g = random_graph(25, 85, seed=4)
+        result = inc_app_densest(g, 3)
+        kmax = result.stats["kmax"]
+        assert result.density >= kmax / 3 - 1e-9
+
+    def test_no_instances(self):
+        result = inc_app_densest(Graph([(0, 1)]), 3)
+        assert result.density == 0.0
+
+
+class TestCoreApp:
+    @pytest.mark.parametrize("h", [2, 3, 4])
+    def test_same_subgraph_as_inc_app(self, h):
+        for seed in range(5):
+            g = random_graph(26, 85, seed=seed + 20)
+            inc = inc_app_densest(g, h)
+            app = core_app_densest(g, h)
+            assert app.vertices == inc.vertices, f"h={h} seed={seed}"
+            assert app.density == pytest.approx(inc.density)
+
+    def test_small_initial_prefix_still_correct(self):
+        g = random_graph(40, 150, seed=5)
+        small = core_app_densest(g, 3, initial_size=2)
+        full = inc_app_densest(g, 3)
+        assert small.vertices == full.vertices
+
+    def test_rounds_recorded(self):
+        g = random_graph(40, 120, seed=6)
+        result = core_app_densest(g, 3, initial_size=4)
+        assert result.stats["rounds"] >= 1
+        assert result.stats["vertices_touched"] <= g.num_vertices
+
+    def test_on_figure3(self, paper_figure3_graph):
+        result = core_app_densest(paper_figure3_graph, 3)
+        assert result.vertices == {"A", "B", "C", "D"}
+
+    def test_no_instances(self):
+        result = core_app_densest(Graph([(0, 1)]), 4)
+        assert result.density == 0.0
+
+    def test_empty(self):
+        assert core_app_densest(Graph(), 2).density == 0.0
+
+    def test_planted_clique_found(self):
+        from repro.graph.generators import erdos_renyi_gnm, planted_clique
+
+        base = erdos_renyi_gnm(150, 300, seed=1)
+        g, members = planted_clique(base, 12, seed=2)
+        result = core_app_densest(g, 3)
+        assert set(members) <= result.vertices

@@ -1,0 +1,88 @@
+"""Tests for the Nucleus and EMcore baselines."""
+
+import pytest
+
+from repro.baselines.emcore import emcore_densest, emcore_kmax_core
+from repro.baselines.nucleus import _h_index, nucleus_core_numbers, nucleus_densest
+from repro.core.clique_core import clique_core_decomposition
+from repro.core.core_app import core_app_densest
+from repro.core.inc_app import inc_app_densest
+from repro.core.kcore import core_decomposition, max_core
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+class TestHIndex:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [([], 0), ([0], 0), ([1], 1), ([5, 4, 3, 2, 1], 3), ([3, 3, 3], 3), ([10, 10], 2)],
+    )
+    def test_known_values(self, values, expected):
+        assert _h_index(values) == expected
+
+
+class TestNucleus:
+    @pytest.mark.parametrize("h", [2, 3, 4])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_peeling_decomposition(self, h, seed):
+        # independent implementations must agree on every core number
+        g = random_graph(22, 70, seed=seed)
+        nucleus = nucleus_core_numbers(g, h)
+        peeling = clique_core_decomposition(g, h).core
+        assert nucleus == peeling
+
+    def test_h2_matches_classical(self):
+        g = random_graph(30, 90, seed=9)
+        assert nucleus_core_numbers(g, 2) == core_decomposition(g)
+
+    def test_figure3(self, paper_figure3_graph):
+        core = nucleus_core_numbers(paper_figure3_graph, 3)
+        assert core["A"] == 3 and core["H"] == 0
+
+    def test_densest_matches_inc_app(self):
+        g = random_graph(25, 80, seed=10)
+        nucleus = nucleus_densest(g, 3)
+        inc = inc_app_densest(g, 3)
+        assert nucleus.vertices == inc.vertices
+        assert nucleus.density == pytest.approx(inc.density)
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            nucleus_core_numbers(Graph(), 1)
+
+    def test_empty(self):
+        assert nucleus_densest(Graph(), 3).density == 0.0
+
+    def test_max_rounds_cap(self):
+        g = random_graph(20, 55, seed=11)
+        capped = nucleus_core_numbers(g, 3, max_rounds=1)
+        exact = nucleus_core_numbers(g, 3)
+        # estimates only ever decrease toward the fixpoint
+        assert all(capped[v] >= exact[v] for v in capped)
+
+
+class TestEMcore:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kmax_matches_bottom_up(self, seed):
+        g = random_graph(40, 130, seed=seed)
+        kmax, vertices = emcore_kmax_core(g, block_size=8)
+        expected_kmax, expected_core = max_core(g)
+        assert kmax == expected_kmax
+        assert vertices == set(expected_core.vertices())
+
+    def test_matches_core_app(self):
+        g = random_graph(50, 160, seed=5)
+        em = emcore_densest(g)
+        app = core_app_densest(g, 2)
+        assert em.stats["kmax"] == app.stats["kmax"]
+        assert em.vertices == app.vertices
+
+    def test_block_size_larger_than_graph(self):
+        g = complete_graph(6)
+        kmax, vertices = emcore_kmax_core(g, block_size=100)
+        assert kmax == 5
+        assert len(vertices) == 6
+
+    def test_empty(self):
+        assert emcore_kmax_core(Graph()) == (0, set())

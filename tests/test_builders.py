@@ -1,0 +1,115 @@
+"""Tests for the DSD flow-network constructions."""
+
+import pytest
+
+from repro.cliques.enumeration import count_cliques
+from repro.flow import dinic
+from repro.flow.builders import (
+    build_cds_network,
+    build_eds_network,
+    build_pds_network,
+    build_pds_network_grouped,
+    vertices_of_cut,
+)
+from repro.graph.graph import Graph, complete_graph
+from repro.patterns.isomorphism import enumerate_pattern_instances, instance_vertices
+from repro.patterns.pattern import get_pattern
+
+from .conftest import random_graph
+
+
+def decision_eds(graph, alpha) -> bool:
+    """Decision oracle: does a subgraph with edge-density > alpha exist?"""
+    net = build_eds_network(graph, alpha)
+    dinic.max_flow(net)
+    return bool(vertices_of_cut(net.min_cut_source_side()))
+
+
+class TestEdsNetwork:
+    def test_feasible_below_optimum(self):
+        g = complete_graph(4)  # optimum density 1.5
+        assert decision_eds(g, 1.0)
+        assert decision_eds(g, 1.49)
+
+    def test_infeasible_above_optimum(self):
+        g = complete_graph(4)
+        assert not decision_eds(g, 1.51)
+        assert not decision_eds(g, 10.0)
+
+    def test_boundary_is_strict(self):
+        # at alpha == rho_opt there is no subgraph with density > alpha
+        g = complete_graph(4)
+        assert not decision_eds(g, 1.5)
+
+    def test_cut_vertices_form_dense_subgraph(self):
+        g = random_graph(20, 60, seed=1)
+        net = build_eds_network(g, 1.2)
+        dinic.max_flow(net)
+        cut = vertices_of_cut(net.min_cut_source_side())
+        if cut:
+            sub = g.subgraph(cut)
+            assert sub.edge_density() > 1.2
+
+    def test_node_count(self):
+        g = random_graph(10, 20, seed=2)
+        net = build_eds_network(g, 1.0)
+        assert net.num_nodes == g.num_vertices + 2
+
+
+class TestCdsNetwork:
+    def test_triangle_decision(self):
+        g = complete_graph(4)  # triangle density 4/4 = 1.0
+        for alpha, feasible in [(0.5, True), (0.99, True), (1.01, False)]:
+            net = build_cds_network(g, 3, alpha)
+            dinic.max_flow(net)
+            assert bool(vertices_of_cut(net.min_cut_source_side())) is feasible
+
+    def test_h2_rejected(self):
+        with pytest.raises(ValueError):
+            build_cds_network(Graph([(0, 1)]), 2, 0.5)
+
+    def test_node_count_includes_sub_cliques(self):
+        g = complete_graph(5)
+        net = build_cds_network(g, 3, 0.5)
+        assert net.num_nodes == 5 + count_cliques(g, 2) + 2
+
+    def test_cut_subgraph_is_denser_than_alpha(self):
+        g = random_graph(15, 55, seed=3)
+        alpha = 0.4
+        net = build_cds_network(g, 3, alpha)
+        dinic.max_flow(net)
+        cut = vertices_of_cut(net.min_cut_source_side())
+        if cut:
+            sub = g.subgraph(cut)
+            assert count_cliques(sub, 3) / sub.num_vertices > alpha
+
+
+class TestPdsNetworks:
+    @pytest.mark.parametrize("grouped", [False, True])
+    def test_decision_for_diamond(self, grouped):
+        g = complete_graph(4)  # 3 C4s on 4 vertices: density 0.75
+        pattern = get_pattern("diamond")
+        sets = [instance_vertices(i) for i in enumerate_pattern_instances(g, pattern)]
+        build = build_pds_network_grouped if grouped else build_pds_network
+        for alpha, feasible in [(0.5, True), (0.74, True), (0.76, False)]:
+            net = build(g, 4, alpha, sets)
+            dinic.max_flow(net)
+            assert bool(vertices_of_cut(net.min_cut_source_side())) is feasible
+
+    def test_grouped_and_plain_cut_values_agree(self):
+        # Lemma 11: identical min-cut capacity
+        g = random_graph(12, 35, seed=4)
+        pattern = get_pattern("2-star")
+        sets = [instance_vertices(i) for i in enumerate_pattern_instances(g, pattern)]
+        for alpha in (0.5, 2.0, 5.0):
+            plain = build_pds_network(g, 3, alpha, sets)
+            grouped = build_pds_network_grouped(g, 3, alpha, sets)
+            assert dinic.max_flow(plain) == pytest.approx(dinic.max_flow(grouped), abs=1e-6)
+
+    def test_grouped_network_is_smaller_when_instances_share_vertices(self):
+        g = complete_graph(4)
+        pattern = get_pattern("diamond")
+        sets = [instance_vertices(i) for i in enumerate_pattern_instances(g, pattern)]
+        plain = build_pds_network(g, 4, 0.5, sets)
+        grouped = build_pds_network_grouped(g, 4, 0.5, sets)
+        assert grouped.num_nodes < plain.num_nodes

@@ -1,0 +1,126 @@
+"""Tests for (k, Ψ)-core decomposition (Algorithm 3, Section 5)."""
+
+import pytest
+
+from repro.cliques.enumeration import CliqueIndex, count_cliques
+from repro.core.clique_core import (
+    clique_core_decomposition,
+    clique_core_subgraph,
+    kmax_clique_core,
+)
+from repro.core.kcore import core_decomposition
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+class TestAgainstDefinition:
+    def test_figure3_triangle_cores(self, paper_figure3_graph):
+        result = clique_core_decomposition(paper_figure3_graph, 3)
+        # K4 {A,B,C,D}: each vertex in 3 of its 4 triangles
+        for v in "ABCD":
+            assert result.core[v] == 3
+        # triangle {E,F,G}: one triangle each
+        for v in "EFG":
+            assert result.core[v] == 1
+        assert result.core["H"] == 0
+        assert result.kmax == 3
+
+    def test_h2_equals_classical_kcore(self):
+        for seed in range(4):
+            g = random_graph(35, 100, seed=seed)
+            result = clique_core_decomposition(g, 2)
+            assert result.core == core_decomposition(g)
+
+    def test_min_clique_degree_property(self):
+        g = random_graph(25, 90, seed=5)
+        result = clique_core_decomposition(g, 3)
+        for k in range(1, result.kmax + 1):
+            sub = result.core_subgraph(g, k)
+            if sub.num_vertices == 0:
+                continue
+            index = CliqueIndex(sub, 3)
+            degrees = index.degrees()
+            assert min(degrees[v] for v in sub) >= k
+
+    def test_maximality(self):
+        # every vertex outside the (k, Ψ)-core would violate the bound if added
+        g = random_graph(20, 70, seed=6)
+        result = clique_core_decomposition(g, 3)
+        k = result.kmax
+        core_set = {v for v, c in result.core.items() if c >= k}
+        for outsider in set(g.vertices()) - core_set:
+            candidate = g.subgraph(core_set | {outsider})
+            index = CliqueIndex(candidate, 3)
+            assert index.degrees()[outsider] < k
+
+    def test_nestedness(self):
+        g = random_graph(25, 85, seed=7)
+        result = clique_core_decomposition(g, 3)
+        previous = None
+        for k in range(result.kmax, -1, -1):
+            members = {v for v, c in result.core.items() if c >= k}
+            if previous is not None:
+                assert previous <= members
+            previous = members
+
+    def test_core_leq_clique_degree(self):
+        g = random_graph(22, 80, seed=8)
+        result = clique_core_decomposition(g, 4)
+        degrees = CliqueIndex(g, 4).degrees()
+        for v in g:
+            assert result.core[v] <= degrees[v]
+
+
+class TestResidualDensityTracking:
+    def test_best_residual_is_a_valid_density(self):
+        g = random_graph(20, 65, seed=9)
+        result = clique_core_decomposition(g, 3)
+        sub = g.subgraph(result.best_residual_vertices)
+        actual = count_cliques(sub, 3) / sub.num_vertices if sub.num_vertices else 0.0
+        assert actual == pytest.approx(result.best_residual_density)
+
+    def test_best_residual_at_least_whole_graph_density(self):
+        g = random_graph(20, 65, seed=10)
+        result = clique_core_decomposition(g, 3)
+        whole = count_cliques(g, 3) / g.num_vertices
+        assert result.best_residual_density >= whole - 1e-12
+
+    def test_peel_order_is_a_permutation(self):
+        g = random_graph(15, 40, seed=11)
+        result = clique_core_decomposition(g, 3)
+        assert sorted(result.peel_order) == sorted(g.vertices())
+
+
+class TestSubgraphHelpers:
+    def test_clique_core_subgraph(self, paper_figure3_graph):
+        sub = clique_core_subgraph(paper_figure3_graph, 3, 3)
+        assert set(sub.vertices()) == {"A", "B", "C", "D"}
+
+    def test_kmax_clique_core(self, paper_figure3_graph):
+        kmax, sub = kmax_clique_core(paper_figure3_graph, 3)
+        assert kmax == 3
+        assert sub.num_vertices == 4
+
+    def test_graph_without_instances(self):
+        g = Graph([(0, 1), (1, 2)])  # no triangle
+        result = clique_core_decomposition(g, 3)
+        assert result.kmax == 0
+        assert all(c == 0 for c in result.core.values())
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            clique_core_decomposition(Graph(), 1)
+
+    def test_density_bounds_theorem1(self):
+        # k/|V_Ψ| <= ρ(R_k, Ψ) <= kmax for every non-empty core
+        g = random_graph(22, 80, seed=12)
+        h = 3
+        result = clique_core_decomposition(g, h)
+        for k in range(1, result.kmax + 1):
+            sub = result.core_subgraph(g, k)
+            if sub.num_vertices == 0:
+                continue
+            density = count_cliques(sub, h) / sub.num_vertices
+            assert density >= k / h - 1e-12
+            assert density <= result.kmax + 1e-12

@@ -1,0 +1,71 @@
+"""Tests for the CSR backend and its numpy kernels."""
+
+import pytest
+
+from repro.cliques.enumeration import clique_degrees
+from repro.core.kcore import core_decomposition
+from repro.graph.csr import CSRGraph, core_numbers, triangle_count, triangle_degrees
+from repro.graph.graph import Graph, complete_graph, cycle_graph
+
+from .conftest import random_graph
+
+
+class TestCSRStructure:
+    def test_round_trip_counts(self):
+        g = random_graph(30, 90, seed=1)
+        csr = CSRGraph(g)
+        assert csr.num_vertices == g.num_vertices
+        assert csr.num_edges == g.num_edges
+
+    def test_neighbors_sorted_and_correct(self):
+        g = random_graph(20, 55, seed=2)
+        csr = CSRGraph(g)
+        for v in g:
+            i = csr.index_of(v)
+            nbrs = [csr.vertices[j] for j in csr.neighbors_of(i)]
+            assert set(nbrs) == g.neighbors(v)
+            assert list(csr.neighbors_of(i)) == sorted(csr.neighbors_of(i))
+
+    def test_degree_array(self):
+        g = random_graph(15, 40, seed=3)
+        csr = CSRGraph(g)
+        degrees = csr.degree_array()
+        for v in g:
+            assert degrees[csr.index_of(v)] == g.degree(v)
+
+    def test_empty_graph(self):
+        csr = CSRGraph(Graph())
+        assert csr.num_vertices == 0
+        assert core_numbers(csr) == {}
+
+    def test_string_labels(self):
+        g = Graph([("a", "b"), ("b", "c")])
+        csr = CSRGraph(g)
+        assert core_numbers(csr) == {"a": 1, "b": 1, "c": 1}
+
+
+class TestCoreNumbers:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_pure_python(self, seed):
+        g = random_graph(60, 200, seed=seed)
+        assert core_numbers(CSRGraph(g)) == core_decomposition(g)
+
+    def test_complete_graph(self):
+        assert set(core_numbers(CSRGraph(complete_graph(6))).values()) == {5}
+
+    def test_isolated_vertices(self):
+        g = Graph([(0, 1)], vertices=[9])
+        assert core_numbers(CSRGraph(g))[9] == 0
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_degrees_match_enumeration(self, seed):
+        g = random_graph(35, 140, seed=seed)
+        assert triangle_degrees(CSRGraph(g)) == clique_degrees(g, 3)
+
+    def test_count_on_k5(self):
+        assert triangle_count(CSRGraph(complete_graph(5))) == 10
+
+    def test_no_triangles_in_cycle(self):
+        assert triangle_count(CSRGraph(cycle_graph(8))) == 0

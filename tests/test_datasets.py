@@ -1,0 +1,75 @@
+"""Tests for the surrogate dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import DatasetSpec, dataset_names, get_spec, load
+
+
+class TestRegistry:
+    def test_all_categories_present(self):
+        assert len(dataset_names("small")) == 5
+        assert len(dataset_names("large")) == 5
+        assert len(dataset_names("extra")) == 3
+        assert len(dataset_names("synthetic")) == 3
+        assert len(dataset_names("case-study")) == 2
+
+    def test_paper_table2_names_all_registered(self):
+        expected = {
+            "Yeast", "Netscience", "As-733", "Ca-HepTh", "As-Caida",
+            "DBLP", "Cit-Patents", "Friendster", "Enwiki-2017", "UK-2002",
+            "SSCA", "ER", "R-MAT",
+        }
+        assert expected <= set(dataset_names())
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("yeast").name == "Yeast"
+        assert get_spec("YEAST").name == "Yeast"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_spec("Orkut")
+
+    def test_spec_fields(self):
+        spec = get_spec("UK-2002")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.paper_vertices == 18_520_486
+        assert spec.category == "large"
+
+
+class TestSurrogates:
+    def test_deterministic(self):
+        assert load("Yeast", 0.3) == load("Yeast", 0.3)
+
+    def test_scale_shrinks(self):
+        small = load("DBLP", 0.05)
+        big = load("DBLP", 0.1)
+        assert small.num_vertices < big.num_vertices
+
+    @pytest.mark.parametrize("name", ["Yeast", "Netscience", "SSCA", "ER", "R-MAT"])
+    def test_surrogates_nonempty_and_simple(self, name):
+        g = load(name, 0.2)
+        assert g.num_vertices > 0
+        assert g.num_edges > 0
+        # simple-graph invariant
+        assert g.num_edges == sum(g.degree(v) for v in g) // 2
+
+    def test_collab_surrogate_has_dense_core(self):
+        from repro.core.kcore import degeneracy
+
+        g = load("Netscience", 1.0)
+        assert degeneracy(g) >= 10  # the planted research-group clique
+
+    def test_er_surrogate_is_flat(self):
+        # ER's kmax-core should cover a large share of the graph
+        from repro.core.core_app import core_app_densest
+
+        g = load("ER", 0.2)
+        result = core_app_densest(g, 2)
+        assert len(result.vertices) > 0.3 * g.num_vertices
+
+    def test_skewed_surrogate_core_is_small(self):
+        from repro.core.core_app import core_app_densest
+
+        g = load("DBLP", 0.2)
+        result = core_app_densest(g, 2)
+        assert len(result.vertices) < 0.2 * g.num_vertices

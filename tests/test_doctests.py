@@ -1,0 +1,28 @@
+"""Execute the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.api
+import repro.cliques.enumeration
+import repro.graph.graph
+import repro.patterns.isomorphism
+import repro.patterns.pattern
+
+MODULES = [
+    repro,
+    repro.api,
+    repro.cliques.enumeration,
+    repro.graph.graph,
+    repro.patterns.isomorphism,
+    repro.patterns.pattern,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert tests > 0  # every listed module must actually carry examples

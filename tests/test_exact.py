@@ -1,0 +1,104 @@
+"""Tests for Algorithm 1 (Exact)."""
+
+import itertools
+
+import pytest
+
+from repro.cliques.enumeration import count_cliques
+from repro.core.exact import exact_densest
+from repro.graph.graph import Graph, complete_graph, cycle_graph, star_graph
+
+from .conftest import random_graph
+
+
+def brute_force_densest(graph: Graph, h: int) -> float:
+    """Exhaustive optimum over all vertex subsets (tiny graphs only)."""
+    vertices = list(graph.vertices())
+    best = 0.0
+    for size in range(1, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            sub = graph.subgraph(subset)
+            best = max(best, count_cliques(sub, h) / size)
+    return best
+
+
+class TestKnownOptima:
+    def test_clique_edge_density(self):
+        result = exact_densest(complete_graph(6), 2)
+        assert result.density == pytest.approx(2.5)
+        assert result.vertices == set(range(6))
+
+    def test_clique_plus_tail(self, paper_figure1_graph):
+        result = exact_densest(paper_figure1_graph, 2)
+        assert result.vertices == {0, 1, 2, 3}
+        assert result.density == pytest.approx(1.5)
+
+    def test_triangle_density_of_k5(self):
+        result = exact_densest(complete_graph(5), 3)
+        assert result.density == pytest.approx(2.0)  # C(5,3)/5
+
+    def test_figure1_triangle_story(self):
+        # edge-densest and triangle-densest subgraphs can differ (S1 vs S2)
+        g = Graph(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("a", "d"), ("c", "d")]  # 2 triangles
+            + [(i, j) for i, j in itertools.combinations(range(5), 2) if (i, j) != (0, 1)]
+        )
+        eds = exact_densest(g, 2)
+        cds = exact_densest(g, 3)
+        assert cds.density >= count_cliques(g.subgraph(cds.vertices), 3) / len(cds.vertices) - 1e-9
+
+    def test_star_has_low_density(self):
+        result = exact_densest(star_graph(6), 2)
+        assert result.density == pytest.approx(6 / 7)
+
+    def test_cycle_density(self):
+        result = exact_densest(cycle_graph(7), 2)
+        assert result.density == pytest.approx(1.0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_small_random(self, seed, h):
+        g = random_graph(9, 16, seed=seed)
+        result = exact_densest(g, h)
+        assert result.density == pytest.approx(brute_force_densest(g, h), abs=1e-9)
+
+    def test_returned_set_achieves_density(self):
+        g = random_graph(12, 30, seed=9)
+        result = exact_densest(g, 3)
+        sub = g.subgraph(result.vertices)
+        achieved = count_cliques(sub, 3) / sub.num_vertices
+        assert achieved == pytest.approx(result.density)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        result = exact_densest(Graph(), 2)
+        assert result.vertices == set()
+        assert result.density == 0.0
+
+    def test_no_instances(self):
+        g = Graph([(0, 1), (1, 2)])
+        result = exact_densest(g, 3)
+        assert result.density == 0.0
+
+    def test_single_edge(self):
+        result = exact_densest(Graph([(0, 1)]), 2)
+        assert result.density == pytest.approx(0.5)
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            exact_densest(Graph([(0, 1)]), 1)
+
+    def test_iterations_recorded(self):
+        result = exact_densest(complete_graph(5), 2)
+        assert result.iterations > 0
+        assert len(result.stats["network_sizes"]) == result.iterations
+
+    def test_disconnected_optimum_in_denser_component(self):
+        g = Graph([(0, 1), (1, 2), (2, 0)])  # triangle, density 1
+        for i, j in itertools.combinations(range(10, 15), 2):
+            g.add_edge(i, j)  # K5, density 2
+        result = exact_densest(g, 2)
+        assert result.vertices == set(range(10, 15))

@@ -1,0 +1,38 @@
+"""Smoke tests for the example scripts.
+
+The two fast examples run end-to-end; the heavier case studies are
+imported and type-checked only (their full runs are exercised manually
+and by the case-study sections of EXPERIMENTS.md).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ["quickstart", "community_query"])
+def test_fast_examples_run(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert "density" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["research_groups", "protein_motifs", "social_piggybacking"]
+)
+def test_heavy_examples_importable(name):
+    module = load_example(name)
+    assert callable(module.main)

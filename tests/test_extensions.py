@@ -1,0 +1,74 @@
+"""Tests for the size-constrained extensions."""
+
+import itertools
+
+import pytest
+
+from repro.extensions.size_constrained import densest_at_least, densest_at_most
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+def brute_force_at_least(graph, k, h=2) -> float:
+    from repro.cliques.enumeration import count_cliques
+
+    vertices = list(graph.vertices())
+    best = 0.0
+    for size in range(k, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            sub = graph.subgraph(subset)
+            best = max(best, count_cliques(sub, h) / size)
+    return best
+
+
+class TestDensestAtLeast:
+    def test_respects_minimum_size(self):
+        g = random_graph(20, 60, seed=1)
+        result = densest_at_least(g, 10)
+        assert len(result.vertices) >= 10
+
+    def test_unconstrained_when_k_is_one(self):
+        from repro.core.peel import peel_densest
+
+        g = random_graph(20, 60, seed=2)
+        assert densest_at_least(g, 1).density == pytest.approx(peel_densest(g, 2).density)
+
+    def test_one_third_guarantee(self):
+        # Andersen-Chellapilla: greedy is a 1/3-approximation for DalkS
+        for seed in range(3):
+            g = random_graph(10, 25, seed=seed)
+            k = 5
+            optimum = brute_force_at_least(g, k)
+            assert densest_at_least(g, k).density >= optimum / 3 - 1e-9
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            densest_at_least(Graph([(0, 1)]), 5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            densest_at_least(Graph([(0, 1)]), 0)
+
+
+class TestDensestAtMost:
+    def test_respects_maximum_size(self):
+        g = random_graph(25, 80, seed=3)
+        result = densest_at_most(g, 6)
+        assert 0 < len(result.vertices) <= 6
+
+    def test_finds_clique_when_it_fits(self):
+        g = complete_graph(5)
+        for i in range(5, 20):
+            g.add_edge(i, i - 5)
+        result = densest_at_most(g, 5)
+        assert result.vertices == set(range(5))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            densest_at_most(Graph([(0, 1)]), 0)
+
+    def test_whole_graph_when_k_exceeds_n(self):
+        g = complete_graph(4)
+        result = densest_at_most(g, 10)
+        assert result.density == pytest.approx(1.5)

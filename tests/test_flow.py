@@ -1,0 +1,165 @@
+"""Tests for the max-flow solvers and network representation."""
+
+import networkx as nx
+import pytest
+
+from repro.flow import dinic, push_relabel
+from repro.flow.network import EPS, FlowNetwork
+
+from .conftest import random_graph
+
+
+def build_classic() -> FlowNetwork:
+    """The CLRS example network with known max flow 23."""
+    net = FlowNetwork("s", "t")
+    arcs = [
+        ("s", "v1", 16), ("s", "v2", 13),
+        ("v1", "v3", 12), ("v2", "v1", 4), ("v2", "v4", 14),
+        ("v3", "v2", 9), ("v3", "t", 20),
+        ("v4", "v3", 7), ("v4", "t", 4),
+    ]
+    for u, v, c in arcs:
+        net.add_arc(u, v, float(c))
+    return net
+
+
+def random_network(seed: int, n: int = 14, arcs: int = 45) -> FlowNetwork:
+    import random
+
+    rng = random.Random(seed)
+    net = FlowNetwork("s", "t")
+    nodes = ["s", "t"] + [f"n{i}" for i in range(n)]
+    for _ in range(arcs):
+        u, v = rng.sample(nodes, 2)
+        if v == "s" or u == "t":
+            continue
+        net.add_arc(u, v, rng.uniform(0.5, 10.0))
+    return net
+
+
+def nx_max_flow(net: FlowNetwork) -> float:
+    g = nx.DiGraph()
+    cap: dict = {}
+    for u_id in range(net.num_nodes):
+        for arc in net.adj[u_id]:
+            if arc % 2 == 0:  # forward arcs have even index
+                u, v = net.node(u_id), net.node(net.head[arc])
+                cap[(u, v)] = cap.get((u, v), 0.0) + net.cap[arc]
+    for (u, v), c in cap.items():
+        g.add_edge(u, v, capacity=c)
+    if "t" not in g or "s" not in g:
+        return 0.0
+    value, _ = nx.maximum_flow(g, "s", "t")
+    return value
+
+
+class TestNetwork:
+    def test_node_registration(self):
+        net = FlowNetwork("s", "t")
+        net.add_arc("s", "a", 1.0)
+        assert net.num_nodes == 3
+        assert net.num_arcs == 1
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork("s", "t")
+        with pytest.raises(ValueError):
+            net.add_arc("s", "t", -1.0)
+
+    def test_snapshot_reset_round_trip(self):
+        net = build_classic()
+        snap = net.snapshot()
+        dinic.max_flow(net)
+        assert net.cap != snap
+        net.reset(snap)
+        assert net.cap == snap
+
+    def test_reset_wrong_length(self):
+        net = build_classic()
+        with pytest.raises(ValueError):
+            net.reset([1.0])
+
+
+class TestDinic:
+    def test_classic_example(self):
+        assert dinic.max_flow(build_classic()) == pytest.approx(23.0)
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork("s", "t")
+        net.add_arc("s", "a", 5.0)
+        assert dinic.max_flow(net) == 0.0
+
+    def test_parallel_arcs_add(self):
+        net = FlowNetwork("s", "t")
+        net.add_arc("s", "t", 2.0)
+        net.add_arc("s", "t", 3.0)
+        assert dinic.max_flow(net) == pytest.approx(5.0)
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork("s", "s")
+        with pytest.raises(ValueError):
+            dinic.max_flow(net)
+
+    def test_long_chain_no_recursion_error(self):
+        net = FlowNetwork("s", "t")
+        prev = "s"
+        for i in range(5000):
+            net.add_arc(prev, f"c{i}", 1.0)
+            prev = f"c{i}"
+        net.add_arc(prev, "t", 1.0)
+        assert dinic.max_flow(net) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        net = random_network(seed)
+        expected = nx_max_flow(random_network(seed))
+        assert dinic.max_flow(net) == pytest.approx(expected, abs=1e-6)
+
+
+class TestPushRelabel:
+    def test_classic_example(self):
+        assert push_relabel.max_flow(build_classic()) == pytest.approx(23.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_dinic(self, seed):
+        a, b = random_network(seed), random_network(seed)
+        assert push_relabel.max_flow(a) == pytest.approx(dinic.max_flow(b), abs=1e-6)
+
+    def test_infinite_capacity_clamped(self):
+        net = FlowNetwork("s", "t")
+        net.add_arc("s", "a", 4.0)
+        net.add_arc("a", "t", float("inf"))
+        assert push_relabel.max_flow(net) == pytest.approx(4.0)
+
+
+class TestMinCut:
+    def test_cut_value_equals_flow(self):
+        # max-flow = min-cut: capacity of the (S, T) arcs equals the flow
+        for seed in range(5):
+            net = random_network(seed)
+            snapshot = net.snapshot()
+            value = dinic.max_flow(net)
+            source_side = net.min_cut_source_side()
+            ids = {net.node_id(x) for x in source_side}
+            cut_capacity = 0.0
+            for arc in range(0, len(net.head), 2):
+                tail = net.head[arc ^ 1]
+                head = net.head[arc]
+                if tail in ids and head not in ids:
+                    cut_capacity += snapshot[arc]
+            assert cut_capacity == pytest.approx(value, abs=1e-6)
+
+    def test_source_side_contains_source(self):
+        net = build_classic()
+        dinic.max_flow(net)
+        side = net.min_cut_source_side()
+        assert "s" in side and "t" not in side
+
+    def test_infinite_arcs_never_cut(self):
+        net = FlowNetwork("s", "t")
+        net.add_arc("s", "a", 10.0)
+        net.add_arc("a", "b", float("inf"))
+        net.add_arc("b", "t", 1.0)
+        dinic.max_flow(net)
+        side = net.min_cut_source_side()
+        # the cut must cross b->t (cap 1), not the infinite arc
+        assert "a" in side and "b" in side

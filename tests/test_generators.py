@@ -1,0 +1,145 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    holme_kim,
+    planted_clique,
+    power_law_weights,
+    rmat,
+    ssca,
+)
+from repro.graph.stats import power_law_alpha
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_counts(self):
+        g = erdos_renyi_gnm(50, 100, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 100
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnm(4, 7)
+
+    def test_gnm_deterministic(self):
+        assert erdos_renyi_gnm(30, 50, seed=7) == erdos_renyi_gnm(30, 50, seed=7)
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_gnp(6, 1.0, seed=1).num_edges == 15
+
+    def test_gnp_expected_edges(self):
+        g = erdos_renyi_gnp(200, 0.1, seed=3)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_gnp(5, 1.5)
+
+
+class TestRmat:
+    def test_edge_count(self):
+        g = rmat(100, 300, seed=2)
+        assert g.num_vertices == 100
+        assert g.num_edges == 300
+
+    def test_skewed_degrees(self):
+        g = rmat(512, 2000, seed=5)
+        degrees = sorted((g.degree(v) for v in g), reverse=True)
+        # power-law-ish: top vertex much hotter than the median
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(10, 10, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_deterministic(self):
+        assert rmat(64, 128, seed=9) == rmat(64, 128, seed=9)
+
+
+class TestSsca:
+    def test_contains_planted_cliques(self):
+        from repro.core.kcore import degeneracy
+
+        g = ssca(300, max_clique_size=12, seed=4)
+        # a clique of size s gives degeneracy >= s-1; sizes are uniform in
+        # [1,12] so with 300 vertices a size >= 10 clique is near-certain
+        assert degeneracy(g) >= 9
+
+    def test_vertex_count(self):
+        assert ssca(123, seed=1).num_vertices == 123
+
+    def test_invalid_clique_size(self):
+        with pytest.raises(ValueError):
+            ssca(10, max_clique_size=0)
+
+
+class TestChungLu:
+    def test_respects_expected_degrees_roughly(self):
+        weights = [10.0] * 200
+        g = chung_lu(weights, seed=6)
+        mean_degree = 2 * g.num_edges / g.num_vertices
+        assert abs(mean_degree - 10.0) < 2.5
+
+    def test_power_law_weights_mean(self):
+        w = power_law_weights(500, 2.5, 8.0)
+        assert sum(w) / len(w) == pytest.approx(8.0)
+
+    def test_power_law_alpha_recovered(self):
+        g = chung_lu(power_law_weights(3000, 2.3, 6.0), seed=8)
+        alpha = power_law_alpha(g, dmin=3)
+        assert 1.7 < alpha < 3.2
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            power_law_weights(10, 0.5, 2.0)
+
+    def test_zero_weights(self):
+        g = chung_lu([0.0] * 20, seed=1)
+        assert g.num_edges == 0
+
+
+class TestHolmeKim:
+    def test_size_and_connectivity(self):
+        g = holme_kim(200, 3, seed=3)
+        assert g.num_vertices == 200
+        assert g.is_connected()
+
+    def test_clustering_higher_than_er(self):
+        import networkx as nx
+
+        from .conftest import to_networkx
+
+        hk = holme_kim(300, 3, triangle_prob=0.9, seed=2)
+        er = erdos_renyi_gnm(300, hk.num_edges, seed=2)
+        assert nx.average_clustering(to_networkx(hk)) > nx.average_clustering(to_networkx(er))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            holme_kim(5, 0)
+        with pytest.raises(ValueError):
+            holme_kim(3, 5)
+
+
+class TestPlantedClique:
+    def test_members_form_clique(self):
+        base = erdos_renyi_gnm(60, 80, seed=1)
+        g, members = planted_clique(base, 8, seed=2)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                assert g.has_edge(u, v)
+
+    def test_original_untouched(self):
+        base = erdos_renyi_gnm(30, 30, seed=1)
+        before = base.num_edges
+        planted_clique(base, 6, seed=3)
+        assert base.num_edges == before
+
+    def test_too_large(self):
+        with pytest.raises(ValueError):
+            planted_clique(erdos_renyi_gnm(5, 4, seed=1), 10)

@@ -1,0 +1,67 @@
+"""Tests for edge-list I/O."""
+
+import io
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRead:
+    def test_basic(self):
+        g = read_edge_list(io.StringIO("0 1\n1 2\n"))
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n% percent comment\n0 1\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = read_edge_list(io.StringIO("0 0\n0 1\n"))
+        assert g.num_edges == 1
+
+    def test_duplicates_collapse(self):
+        g = read_edge_list(io.StringIO("0 1\n1 0\n0 1\n"))
+        assert g.num_edges == 1
+
+    def test_extra_columns_tolerated(self):
+        g = read_edge_list(io.StringIO("0 1 0.75\n"))
+        assert g.has_edge(0, 1)
+
+    def test_string_ids(self):
+        g = read_edge_list(io.StringIO("alice bob\n"))
+        assert g.has_edge("alice", "bob")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("justonetoken\n"))
+
+    def test_from_path(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("3 4\n4 5\n")
+        g = read_edge_list(p)
+        assert g.num_edges == 2
+
+
+class TestWrite:
+    def test_round_trip(self, tmp_path):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        p = tmp_path / "out.txt"
+        write_edge_list(g, p)
+        g2 = read_edge_list(p)
+        assert g2 == g
+
+    def test_round_trip_stream(self):
+        g = Graph([(0, 1), (5, 9)])
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == g
+
+    def test_header_comment_present(self):
+        buffer = io.StringIO()
+        write_edge_list(Graph([(0, 1)]), buffer)
+        assert buffer.getvalue().startswith("#")

@@ -1,0 +1,117 @@
+"""Integration tests: full pipelines on every surrogate dataset.
+
+These are the end-to-end checks: on each registry surrogate (shrunk for
+test speed) the complete algorithm matrix must be internally consistent
+-- exact methods agree with each other, approximations respect their
+guarantees, and baselines return the same cores as the core methods.
+"""
+
+import pytest
+
+from repro import densest_subgraph
+from repro.baselines.emcore import emcore_densest
+from repro.baselines.nucleus import nucleus_densest
+from repro.core.core_app import core_app_densest
+from repro.core.core_exact import core_exact_densest
+from repro.core.exact import exact_densest
+from repro.core.inc_app import inc_app_densest
+from repro.core.peel import peel_densest
+from repro.core.pds import core_p_exact_densest, p_exact_densest
+from repro.datasets.registry import dataset_names, load
+from repro.patterns.pattern import get_pattern
+
+SMALL = dataset_names("small")
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def surrogates():
+    return {name: load(name, SCALE) for name in SMALL}
+
+
+class TestExactConsistency:
+    @pytest.mark.parametrize("name", SMALL)
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_exact_equals_core_exact(self, surrogates, name, h):
+        g = surrogates[name]
+        assert core_exact_densest(g, h).density == pytest.approx(
+            exact_densest(g, h).density, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("name", ["Yeast", "Netscience"])
+    def test_pexact_equals_core_pexact(self, surrogates, name):
+        g = surrogates[name]
+        pattern = get_pattern("2-star")
+        assert core_p_exact_densest(g, pattern).density == pytest.approx(
+            p_exact_densest(g, pattern).density, abs=1e-9
+        )
+
+
+class TestApproximationConsistency:
+    @pytest.mark.parametrize("name", SMALL)
+    def test_sandwich_bounds(self, surrogates, name):
+        g = surrogates[name]
+        h = 3
+        optimum = core_exact_densest(g, h).density
+        for algo in (peel_densest, inc_app_densest, core_app_densest):
+            approx = algo(g, h).density
+            assert approx <= optimum + 1e-9
+            if optimum > 0:
+                assert approx >= optimum / h - 1e-9
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_core_methods_agree(self, surrogates, name):
+        g = surrogates[name]
+        inc = inc_app_densest(g, 3)
+        app = core_app_densest(g, 3)
+        nuc = nucleus_densest(g, 3)
+        assert inc.vertices == app.vertices == nuc.vertices
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_emcore_agrees_for_edges(self, surrogates, name):
+        g = surrogates[name]
+        em = emcore_densest(g)
+        app = core_app_densest(g, 2)
+        assert em.stats["kmax"] == app.stats["kmax"]
+
+
+class TestPublicApiOnSurrogates:
+    @pytest.mark.parametrize("name", ["Yeast", "As-733"])
+    def test_auto_dispatch(self, surrogates, name):
+        g = surrogates[name]
+        result = densest_subgraph(g, 3)
+        assert result.method == "CoreExact"  # small graph -> exact path
+        assert result.density >= 0.0
+
+    def test_pattern_dispatch_on_surrogate(self, surrogates):
+        g = surrogates["Netscience"]
+        exact = densest_subgraph(g, "diamond", method="core-exact")
+        approx = densest_subgraph(g, "diamond", method="core-app")
+        assert approx.density <= exact.density + 1e-9
+        if exact.density > 0:
+            assert approx.density >= exact.density / 4 - 1e-9
+
+    def test_case_study_surrogates_load(self):
+        for name in dataset_names("case-study"):
+            g = load(name, 0.3)
+            assert g.num_vertices > 0
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8-exact" in out and "table5" in out
+
+    def test_single_artefact(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig9", "--scale", "0.05"]) == 0
+        assert "network_nodes" in capsys.readouterr().out
+
+    def test_unknown_artefact(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig99"]) == 2

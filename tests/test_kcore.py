@@ -1,0 +1,82 @@
+"""Tests for classical k-core decomposition."""
+
+import networkx as nx
+import pytest
+
+from repro.core.kcore import core_decomposition, degeneracy, k_core, max_core
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph
+
+from .conftest import random_graph, to_networkx
+
+
+class TestCoreDecomposition:
+    def test_complete_graph(self):
+        core = core_decomposition(complete_graph(5))
+        assert all(c == 4 for c in core.values())
+
+    def test_tree_cores_are_one(self):
+        core = core_decomposition(path_graph(8))
+        assert all(c == 1 for c in core.values())
+
+    def test_figure3_example(self, paper_figure3_graph):
+        core = core_decomposition(paper_figure3_graph)
+        assert core["A"] == core["B"] == core["C"] == core["D"] == 3
+        assert core["E"] == core["F"] == core["G"] == 2
+        assert core["H"] == 1
+
+    def test_empty(self):
+        assert core_decomposition(Graph()) == {}
+
+    def test_isolated_vertex(self):
+        g = Graph([(0, 1)], vertices=[7])
+        assert core_decomposition(g)[7] == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        g = random_graph(50, 140, seed=seed)
+        assert core_decomposition(g) == nx.core_number(to_networkx(g))
+
+    def test_min_degree_property(self):
+        g = random_graph(40, 120, seed=11)
+        core = core_decomposition(g)
+        for k in range(max(core.values()) + 1):
+            sub = g.subgraph(v for v, c in core.items() if c >= k)
+            if sub.num_vertices:
+                assert min(sub.degree(v) for v in sub) >= k
+
+    def test_nestedness(self):
+        g = random_graph(40, 120, seed=12)
+        core = core_decomposition(g)
+        kmax = max(core.values())
+        previous = None
+        for k in range(kmax, -1, -1):
+            members = {v for v, c in core.items() if c >= k}
+            if previous is not None:
+                assert previous <= members
+            previous = members
+
+
+class TestCoreSubgraphs:
+    def test_k_core_subgraph(self, paper_figure3_graph):
+        sub = k_core(paper_figure3_graph, 3)
+        assert set(sub.vertices()) == {"A", "B", "C", "D"}
+
+    def test_max_core(self, paper_figure3_graph):
+        kmax, sub = max_core(paper_figure3_graph)
+        assert kmax == 3
+        assert sub.num_vertices == 4
+
+    def test_max_core_empty(self):
+        kmax, sub = max_core(Graph())
+        assert kmax == 0
+        assert sub.num_vertices == 0
+
+    def test_degeneracy_equals_kmax(self):
+        g = random_graph(45, 130, seed=13)
+        core = core_decomposition(g)
+        assert degeneracy(g) == max(core.values())
+
+    def test_k_core_may_be_disconnected(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (5, 6), (6, 7), (7, 5)])
+        sub = k_core(g, 2)
+        assert len(sub.connected_components()) == 2

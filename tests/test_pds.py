@@ -1,0 +1,138 @@
+"""Tests for the PDS algorithms (Section 7)."""
+
+import itertools
+
+import pytest
+
+from repro.core.pds import (
+    core_p_exact_densest,
+    p_exact_densest,
+    pattern_core_app_densest,
+    pattern_inc_app_densest,
+    pattern_peel_densest,
+)
+from repro.graph.graph import Graph, complete_graph
+from repro.patterns.isomorphism import count_pattern_instances
+from repro.patterns.pattern import get_pattern
+
+from .conftest import random_graph
+
+PATTERNS = ("2-star", "3-star", "c3-star", "diamond", "2-triangle")
+
+
+def brute_force_pds(graph: Graph, pattern) -> float:
+    vertices = list(graph.vertices())
+    best = 0.0
+    for size in range(2, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            sub = graph.subgraph(subset)
+            best = max(best, count_pattern_instances(sub, pattern) / size)
+    return best
+
+
+class TestPExact:
+    @pytest.mark.parametrize("name", ["2-star", "diamond", "2-triangle"])
+    def test_against_brute_force(self, name):
+        g = random_graph(8, 16, seed=1)
+        pattern = get_pattern(name)
+        result = p_exact_densest(g, pattern)
+        assert result.density == pytest.approx(brute_force_pds(g, pattern), abs=1e-9)
+
+    def test_example6_style_pds(self):
+        # K4 on {A,D,E,F} (3 diamonds) beats a lone square
+        g = Graph(
+            [("A", "D"), ("A", "E"), ("A", "F"), ("D", "E"), ("D", "F"), ("E", "F"),
+             ("P", "Q"), ("Q", "R"), ("R", "S"), ("S", "P"), ("F", "P")]
+        )
+        result = p_exact_densest(g, get_pattern("diamond"))
+        assert result.vertices == {"A", "D", "E", "F"}
+        assert result.density == pytest.approx(0.75)
+
+    def test_no_instances(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert p_exact_densest(g, get_pattern("diamond")).density == 0.0
+
+    def test_empty(self):
+        assert p_exact_densest(Graph(), get_pattern("edge")).density == 0.0
+
+    def test_returned_set_achieves_density(self):
+        g = random_graph(12, 35, seed=2)
+        pattern = get_pattern("c3-star")
+        result = p_exact_densest(g, pattern)
+        sub = g.subgraph(result.vertices)
+        assert count_pattern_instances(sub, pattern) / sub.num_vertices == pytest.approx(
+            result.density
+        )
+
+
+class TestCorePExact:
+    @pytest.mark.parametrize("name", PATTERNS)
+    def test_agrees_with_pexact(self, name):
+        g = random_graph(16, 45, seed=3)
+        pattern = get_pattern(name)
+        assert core_p_exact_densest(g, pattern).density == pytest.approx(
+            p_exact_densest(g, pattern).density, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_on_random_seeds(self, seed):
+        g = random_graph(14, 40, seed=seed + 30)
+        pattern = get_pattern("diamond")
+        assert core_p_exact_densest(g, pattern).density == pytest.approx(
+            p_exact_densest(g, pattern).density, abs=1e-9
+        )
+
+    def test_instrumentation(self):
+        g = random_graph(14, 40, seed=4)
+        result = core_p_exact_densest(g, get_pattern("2-star"))
+        assert "network_sizes" in result.stats
+        assert result.stats["instances"] > 0
+
+    def test_grouped_networks_smaller_on_cliquey_graph(self):
+        # construct+ collapses co-located instances; on K5 plus noise the
+        # CorePExact networks must not exceed the PExact ones
+        g = complete_graph(5)
+        for i in range(5, 9):
+            g.add_edge(i, i - 5)
+        pattern = get_pattern("diamond")
+        plain = p_exact_densest(g, pattern)
+        grouped = core_p_exact_densest(g, pattern)
+        assert max(grouped.stats["network_sizes"]) <= max(plain.stats["network_sizes"])
+
+
+class TestPatternApproximations:
+    @pytest.mark.parametrize("name", PATTERNS)
+    def test_peel_guarantee(self, name):
+        g = random_graph(16, 48, seed=5)
+        pattern = get_pattern(name)
+        optimum = p_exact_densest(g, pattern).density
+        approx = pattern_peel_densest(g, pattern).density
+        assert approx <= optimum + 1e-9
+        if optimum > 0:
+            assert approx >= optimum / pattern.size - 1e-9
+
+    @pytest.mark.parametrize("name", PATTERNS)
+    def test_inc_app_guarantee(self, name):
+        g = random_graph(16, 48, seed=6)
+        pattern = get_pattern(name)
+        optimum = p_exact_densest(g, pattern).density
+        approx = pattern_inc_app_densest(g, pattern).density
+        assert approx <= optimum + 1e-9
+        if optimum > 0:
+            assert approx >= optimum / pattern.size - 1e-9
+
+    @pytest.mark.parametrize("name", PATTERNS)
+    def test_core_app_matches_inc_app(self, name):
+        g = random_graph(16, 48, seed=7)
+        pattern = get_pattern(name)
+        inc = pattern_inc_app_densest(g, pattern)
+        app = pattern_core_app_densest(g, pattern)
+        assert app.density == pytest.approx(inc.density, abs=1e-9)
+        assert app.vertices == inc.vertices
+
+    def test_approximations_handle_no_instances(self):
+        g = Graph([(0, 1), (1, 2)])
+        pattern = get_pattern("diamond")
+        assert pattern_peel_densest(g, pattern).density == 0.0
+        assert pattern_inc_app_densest(g, pattern).density == 0.0
+        assert pattern_core_app_densest(g, pattern).density == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.plotting import _log_width, bar_chart, grouped_bar_chart
+
+
+class TestLogWidth:
+    def test_extremes(self):
+        assert _log_width(1.0, 1.0, 100.0, 10) == 1
+        assert _log_width(100.0, 1.0, 100.0, 10) == 10
+
+    def test_midpoint_is_logarithmic(self):
+        # 10 is the log-midpoint of [1, 100]
+        assert _log_width(10.0, 1.0, 100.0, 11) == 6
+
+    def test_zero_value(self):
+        assert _log_width(0.0, 1.0, 100.0, 10) == 0
+
+    def test_degenerate_range(self):
+        assert _log_width(5.0, 5.0, 5.0, 10) == 10
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"Exact": 10.0, "CoreExact": 0.01}, title="T")
+        assert "T" in text and "Exact" in text and "10" in text
+
+    def test_longer_bar_for_larger_value(self):
+        text = bar_chart({"big": 100.0, "small": 0.1}, width=30)
+        lines = {line.split()[0]: line.count("#") for line in text.splitlines()}
+        assert lines["big"] > lines["small"]
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+        assert "(no data)" in bar_chart({"x": 0.0})
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        rows = [
+            {"h": 2, "exact_s": 1.0, "core_s": 0.1},
+            {"h": 3, "exact_s": 5.0, "core_s": 0.2},
+        ]
+        text = grouped_bar_chart(rows, "h", ["exact_s", "core_s"], title="fig")
+        assert "h=2" in text and "h=3" in text
+        assert text.count("exact_s") == 2
+
+    def test_shared_scale_across_groups(self):
+        rows = [{"h": 2, "a": 0.001}, {"h": 3, "a": 1000.0}]
+        text = grouped_bar_chart(rows, "h", ["a"], width=20)
+        bars = [line.count("#") for line in text.splitlines() if "a" in line and "#" in line]
+        assert bars[0] == 1 and bars[1] == 20
+
+    def test_missing_key_skipped(self):
+        rows = [{"h": 2, "a": 1.0}]
+        text = grouped_bar_chart(rows, "h", ["a", "b"])
+        assert "b" not in text.replace("b=", "")
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart([], "h", ["a"])

@@ -1,0 +1,46 @@
+"""Tests for the artefact report aggregator."""
+
+from pathlib import Path
+
+from repro.experiments.report import collect, main, render
+
+
+def make_out(tmp_path: Path) -> Path:
+    out = tmp_path / "out"
+    out.mkdir()
+    (out / "fig8_exact.txt").write_text("fig8 rows\n")
+    (out / "table2_dataset_stats.txt").write_text("table2 rows\n")
+    (out / "custom_extra.txt").write_text("extra rows\n")
+    return out
+
+
+class TestCollect:
+    def test_presentation_order(self, tmp_path):
+        artefacts = collect(make_out(tmp_path))
+        names = [name for name, _ in artefacts]
+        assert names.index("table2_dataset_stats") < names.index("fig8_exact")
+        assert names[-1] == "custom_extra"  # unknown artefacts go last
+
+    def test_empty_dir(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert collect(empty) == []
+
+
+class TestRender:
+    def test_sections_present(self, tmp_path):
+        text = render(collect(make_out(tmp_path)))
+        assert "## fig8_exact" in text
+        assert "fig8 rows" in text
+        assert text.count("```") == 6  # one fenced block per artefact
+
+
+class TestMain:
+    def test_writes_report(self, tmp_path, capsys):
+        out = make_out(tmp_path)
+        target = tmp_path / "REPORT.md"
+        assert main([str(out), str(target)]) == 0
+        assert "table2 rows" in target.read_text()
+
+    def test_missing_dir(self, tmp_path):
+        assert main([str(tmp_path / "nope"), str(tmp_path / "r.md")]) == 1

@@ -1,0 +1,89 @@
+"""Tests for graph statistics (Appendix-A table columns)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph
+from repro.graph.stats import (
+    GraphStats,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    power_law_alpha,
+)
+
+from .conftest import random_graph, to_networkx
+
+
+class TestEccentricityAndDiameter:
+    def test_path_diameter(self):
+        assert diameter(path_graph(10)) == 9
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_complete_diameter(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_empty_and_singleton(self):
+        assert diameter(Graph()) == 0
+        assert diameter(Graph(vertices=[1])) == 0
+
+    def test_diameter_uses_largest_component(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (10, 11)])
+        assert diameter(g) == 3
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_exact_matches_networkx(self):
+        g = random_graph(40, 60, seed=1)
+        comps = g.connected_components()
+        largest = g.subgraph(max(comps, key=len))
+        assert diameter(g) == nx.diameter(to_networkx(largest))
+
+    def test_heuristic_is_lower_bound(self):
+        g = random_graph(150, 220, seed=3)
+        exact = diameter(g, exact_threshold=10_000)
+        heuristic = diameter(g, exact_threshold=1)
+        assert heuristic <= exact
+        assert heuristic >= 1
+
+
+class TestPowerLawAlpha:
+    def test_known_mle(self):
+        # Three vertices of degree 2: alpha = 1 + 3 / (3 * ln(2/0.5)) = 1 + 1/ln 4
+        g = cycle_graph(3)
+        expected = 1.0 + 1.0 / math.log(2.0 / 0.5)
+        assert power_law_alpha(g) == pytest.approx(expected)
+
+    def test_nan_on_tiny_graph(self):
+        assert math.isnan(power_law_alpha(Graph(vertices=[0])))
+
+    def test_skewed_graph_has_heavier_tail_than_regular(self):
+        from repro.graph.generators import chung_lu, erdos_renyi_gnm, power_law_weights
+
+        skewed = chung_lu(power_law_weights(600, 2.2, 6.0), seed=1)
+        regular = erdos_renyi_gnm(600, 1800, seed=1)
+        # alpha itself is a fit parameter; the robust discriminator is the
+        # hub: a power-law graph's max degree dwarfs an ER graph's
+        assert skewed.max_degree() > 2 * regular.max_degree()
+        assert power_law_alpha(skewed, dmin=2) > 1.0
+
+
+class TestHistogramsAndDataclass:
+    def test_degree_histogram(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert degree_histogram(g) == {1: 2, 2: 1}
+
+    def test_graph_stats_of(self, disconnected_graph):
+        stats = GraphStats.of(disconnected_graph)
+        assert stats.num_vertices == 7
+        assert stats.num_edges == 5
+        assert stats.num_components == 3
+        # two size-3 components tie for "largest"; either diameter is valid
+        assert stats.diameter in (1, 2)

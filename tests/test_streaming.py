@@ -1,0 +1,55 @@
+"""Tests for the streaming (Bahmani et al.) extension."""
+
+import math
+
+import pytest
+
+from repro.core.core_exact import core_exact_densest
+from repro.extensions.streaming import streaming_densest
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+class TestStreamingDensest:
+    def test_exact_on_clique(self):
+        result = streaming_densest(complete_graph(6))
+        assert result.density == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.5])
+    def test_approximation_guarantee(self, epsilon):
+        for seed in range(5):
+            g = random_graph(30, 100, seed=seed)
+            optimum = core_exact_densest(g, 2).density
+            approx = streaming_densest(g, epsilon).density
+            assert approx <= optimum + 1e-9
+            assert approx >= optimum / (2.0 + 2.0 * epsilon) - 1e-9
+
+    def test_pass_count_logarithmic(self):
+        g = random_graph(200, 600, seed=1)
+        result = streaming_densest(g, 0.5)
+        # O(log n / eps) passes; generous constant
+        assert result.iterations <= 10 * math.ceil(math.log(200) / 0.5)
+
+    def test_fewer_passes_than_peeling(self):
+        from repro.core.peel import peel_densest
+
+        g = random_graph(150, 450, seed=2)
+        batch = streaming_densest(g, 0.2)
+        peel = peel_densest(g, 2)
+        assert batch.iterations < peel.iterations
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            streaming_densest(Graph(), 0.0)
+
+    def test_empty(self):
+        assert streaming_densest(Graph()).density == 0.0
+
+    def test_planted_clique_recovered(self):
+        from repro.graph.generators import erdos_renyi_gnm, planted_clique
+
+        base = erdos_renyi_gnm(120, 240, seed=3)
+        g, members = planted_clique(base, 14, seed=4)
+        result = streaming_densest(g, 0.1)
+        assert set(members) <= result.vertices

@@ -1,0 +1,90 @@
+"""Tests for the top-k extraction and Greedy++ extensions."""
+
+import pytest
+
+from repro.core.core_exact import core_exact_densest
+from repro.extensions.greedy_pp import greedy_pp_densest
+from repro.extensions.topk import top_k_densest
+from repro.graph.graph import Graph, complete_graph
+
+from .conftest import random_graph
+
+
+def two_cliques_graph() -> Graph:
+    """A K6 and a K4, connected by a bridge."""
+    import itertools
+
+    g = Graph()
+    for i, j in itertools.combinations(range(6), 2):
+        g.add_edge(i, j)
+    for i, j in itertools.combinations(range(10, 14), 2):
+        g.add_edge(i, j)
+    g.add_edge(5, 10)
+    return g
+
+
+class TestTopK:
+    def test_extracts_disjoint_clusters(self):
+        results = top_k_densest(two_cliques_graph(), 2)
+        assert len(results) == 2
+        assert results[0].vertices == set(range(6))
+        assert results[1].vertices == set(range(10, 14))
+        assert not results[0].vertices & results[1].vertices
+
+    def test_densities_non_increasing(self):
+        g = random_graph(60, 200, seed=1)
+        results = top_k_densest(g, 4)
+        densities = [r.density for r in results]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_stops_when_exhausted(self):
+        results = top_k_densest(Graph([(0, 1)]), 10)
+        assert len(results) <= 1
+
+    def test_custom_method(self):
+        results = top_k_densest(two_cliques_graph(), 2, method=core_exact_densest)
+        assert results[0].density == pytest.approx(2.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_densest(Graph(), 0)
+
+    def test_triangle_variant(self):
+        results = top_k_densest(two_cliques_graph(), 2, h=3)
+        assert results[0].vertices == set(range(6))
+
+
+class TestGreedyPP:
+    def test_single_round_is_charikar(self):
+        from repro.core.peel import peel_densest
+
+        g = random_graph(25, 80, seed=2)
+        assert greedy_pp_densest(g, rounds=1).density >= peel_densest(g, 2).density / 1.0001
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_converges_to_optimum(self, seed):
+        g = random_graph(18, 55, seed=seed)
+        optimum = core_exact_densest(g, 2).density
+        result = greedy_pp_densest(g, rounds=30)
+        assert result.density == pytest.approx(optimum, rel=0.02)
+
+    def test_monotone_in_rounds(self):
+        g = random_graph(20, 65, seed=6)
+        few = greedy_pp_densest(g, rounds=1).density
+        many = greedy_pp_densest(g, rounds=12).density
+        assert many >= few - 1e-12
+
+    def test_never_exceeds_optimum(self):
+        g = random_graph(18, 55, seed=7)
+        optimum = core_exact_densest(g, 2).density
+        assert greedy_pp_densest(g, rounds=20).density <= optimum + 1e-9
+
+    def test_clique(self):
+        assert greedy_pp_densest(complete_graph(5)).density == pytest.approx(2.0)
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            greedy_pp_densest(Graph(), 0)
+
+    def test_empty(self):
+        assert greedy_pp_densest(Graph()).density == 0.0
