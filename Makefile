@@ -1,0 +1,30 @@
+# Developer entry points.  Everything runs from the repo root with the
+# src layout on PYTHONPATH; no install step required.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench ablation
+
+test:
+	$(PY) -m pytest -x -q
+
+# One tiny bench per family (figure, table, ablation) at a reduced
+# dataset scale, under a hard time cap -- perf regressions fail loudly
+# without the cost of the full suite.
+BENCH_SMOKE_FILES := \
+	benchmarks/bench_fig8_exact.py \
+	benchmarks/bench_fig9_flow_sizes.py \
+	benchmarks/bench_table3_decomp_share.py \
+	benchmarks/bench_ablation_flow_reuse.py
+
+bench-smoke:
+	timeout 900 env REPRO_BENCH_SCALE=0.1 PYTHONPATH=src \
+		python -m pytest $(BENCH_SMOKE_FILES) -q --benchmark-disable
+
+# Full benchmark suite (regenerates every table/figure artefact).
+bench:
+	$(PY) -m pytest benchmarks -q
+
+# Just the flow-engine ablation (rewrites benchmarks/out/flow_reuse_ablation.json).
+ablation:
+	$(PY) -m pytest benchmarks/bench_ablation_flow_reuse.py -q

@@ -57,6 +57,7 @@ def densest_subgraph(
     graph: Graph,
     psi: PatternLike = 2,
     method: str = "auto",
+    flow_engine: str = "reuse",
 ) -> DensestSubgraphResult:
     """Find the Ψ-densest subgraph of ``graph``.
 
@@ -70,6 +71,12 @@ def densest_subgraph(
     method:
         One of ``auto``, ``exact``, ``core-exact``, ``peel``,
         ``inc-app``, ``core-app``.
+    flow_engine:
+        How the exact methods run their max-flow binary search:
+        ``"reuse"`` (default) builds one α-parametric arc-array network
+        and rewrites only the sink capacities per iteration;
+        ``"rebuild"`` reconstructs the network every iteration.  The
+        peeling-based approximations take no flow engine.
 
     Examples
     --------
@@ -84,16 +91,18 @@ def densest_subgraph(
     if pattern.is_clique():
         h = pattern.size
         dispatch = {
-            "exact": lambda: exact_densest(graph, h),
-            "core-exact": lambda: core_exact_densest(graph, h),
+            "exact": lambda: exact_densest(graph, h, flow_engine=flow_engine),
+            "core-exact": lambda: core_exact_densest(graph, h, flow_engine=flow_engine),
             "peel": lambda: peel_densest(graph, h),
             "inc-app": lambda: inc_app_densest(graph, h),
             "core-app": lambda: core_app_densest(graph, h),
         }
     else:
         dispatch = {
-            "exact": lambda: p_exact_densest(graph, pattern),
-            "core-exact": lambda: core_p_exact_densest(graph, pattern),
+            "exact": lambda: p_exact_densest(graph, pattern, flow_engine=flow_engine),
+            "core-exact": lambda: core_p_exact_densest(
+                graph, pattern, flow_engine=flow_engine
+            ),
             "peel": lambda: pattern_peel_densest(graph, pattern),
             "inc-app": lambda: pattern_inc_app_densest(graph, pattern),
             "core-app": lambda: pattern_core_app_densest(graph, pattern),

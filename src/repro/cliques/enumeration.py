@@ -63,9 +63,53 @@ def enumerate_cliques(graph: Graph, h: int) -> Iterator[tuple[Vertex, ...]]:
 
     adjacency = {v: graph.neighbors(v) for v in graph}
 
+    if h == 3:
+        # two nested loops instead of two generator frames per triangle
+        for u in graph:
+            outs = out[u]
+            if len(outs) < 2:
+                continue
+            last = len(outs) - 1
+            for i, v in enumerate(outs):
+                if i == last:
+                    break
+                adj_v = adjacency[v]
+                for w in outs[i + 1 :]:
+                    if w in adj_v:
+                        yield (u, v, w)
+        return
+
+    if h == 4:
+        for u in graph:
+            outs = out[u]
+            if len(outs) < 3:
+                continue
+            stop = len(outs) - 2
+            for i, v in enumerate(outs):
+                if i == stop:
+                    break
+                adj_v = adjacency[v]
+                cand = [w for w in outs[i + 1 :] if w in adj_v]
+                if len(cand) < 2:
+                    continue
+                last = len(cand) - 1
+                for j, w in enumerate(cand):
+                    if j == last:
+                        break
+                    adj_w = adjacency[w]
+                    base = (u, v, w)
+                    for x in cand[j + 1 :]:
+                        if x in adj_w:
+                            yield base + (x,)
+        return
+
     def expand(prefix: list[Vertex], candidates: list[Vertex], depth: int) -> Iterator[tuple[Vertex, ...]]:
-        if depth == h:
-            yield tuple(prefix)
+        if depth == h - 1:
+            # any single candidate completes the clique: emit directly,
+            # skipping the (useless) candidate filtering of a last level
+            base = tuple(prefix)
+            for v in candidates:
+                yield base + (v,)
             return
         # Remaining levels need at least (h - depth) mutually adjacent
         # candidates; prune branches that cannot reach that.
@@ -127,13 +171,19 @@ class CliqueIndex:
         )
         self.alive: list[bool] = [True] * len(self.instances)
         self.num_alive = len(self.instances)
-        self.member_of: dict[Vertex, list[int]] = {v: [] for v in graph}
+        member_of: dict[Vertex, list[int]] = {v: [] for v in graph}
         for idx, inst in enumerate(self.instances):
             for v in inst:
-                self.member_of.setdefault(v, []).append(idx)
+                postings = member_of.get(v)
+                if postings is None:
+                    postings = member_of[v] = []
+                postings.append(idx)
+        self.member_of = member_of
 
     def degrees(self) -> dict[Vertex, int]:
         """Current (live) clique-degrees of all indexed vertices."""
+        if self.num_alive == len(self.instances):  # nothing peeled yet
+            return {v: len(postings) for v, postings in self.member_of.items()}
         return {
             v: sum(1 for idx in postings if self.alive[idx])
             for v, postings in self.member_of.items()

@@ -93,42 +93,76 @@ def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResu
     arbitrary patterns alike.
     """
     degree = index.degrees()
-    n_alive = graph.num_vertices
+    graph_vertices = set(graph.vertices())
     core: dict[Vertex, int] = {}
     peel_order: list[Vertex] = []
 
-    best_density = (index.num_alive / n_alive) if n_alive else 0.0
-    best_vertices = set(graph.vertices())
+    n_graph = graph.num_vertices
+    best_density = (index.num_alive / n_graph) if n_graph else 0.0
+    # The best residual is reconstructed from the peel prefix at the end
+    # instead of copying the alive set on every improvement (O(n^2) on
+    # graphs whose density keeps rising while peeling).
+    best_removed = 0
 
-    max_deg = max(degree.values(), default=0)
-    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
-    for v, d in degree.items():
-        buckets[d].add(v)
+    # Array-backed bucket queue (Batagelj–Zaveršnik layout, as in
+    # repro.graph.csr.core_numbers): vertices sorted by current degree
+    # in ``order``, one swap per degree decrement.
+    vertices = list(degree)
+    n = len(vertices)
+    id_of = {v: i for i, v in enumerate(vertices)}
+    deg = [degree[v] for v in vertices]
+    max_deg = max(deg, default=0)
 
-    removed: set[Vertex] = set()
-    current = 0
-    alive: set[Vertex] = set(graph.vertices())
-    for _ in range(n_alive):
-        while current <= max_deg and not buckets[current]:
-            current += 1
-        if current > max_deg:
-            break
-        v = buckets[current].pop()
-        core[v] = current
-        removed.add(v)
-        alive.discard(v)
+    bin_start = [0] * (max_deg + 2)
+    for d in deg:
+        bin_start[d + 1] += 1
+    for i in range(max_deg + 1):
+        bin_start[i + 1] += bin_start[i]
+    fill = bin_start[: max_deg + 1]
+    position = [0] * n
+    order = [0] * n
+    for i in range(n):
+        d = deg[i]
+        p = fill[d]
+        position[i] = p
+        order[p] = i
+        fill[d] += 1
+    bin_ptr = bin_start[: max_deg + 1]
+
+    removed = [False] * n
+    alive_graph = n_graph
+    for i in range(n):
+        vi = order[i]
+        v = vertices[vi]
+        dv = deg[vi]
+        removed[vi] = True
+        core[v] = dv
         peel_order.append(v)
+        if v in graph_vertices:
+            alive_graph -= 1
         for killed in index.peel_vertex(v):
             for u in killed:
-                if u not in removed and degree[u] > current:
-                    buckets[degree[u]].discard(u)
-                    degree[u] -= 1
-                    buckets[degree[u]].add(u)
-        if alive:
-            density = index.num_alive / len(alive)
+                ui = id_of[u]
+                if not removed[ui] and deg[ui] > dv:
+                    du = deg[ui]
+                    first = bin_ptr[du]
+                    w = order[first]
+                    if w != ui:
+                        pu = position[ui]
+                        order[first], order[pu] = ui, w
+                        position[ui], position[w] = first, pu
+                    bin_ptr[du] += 1
+                    deg[ui] = du - 1
+        if alive_graph:
+            density = index.num_alive / alive_graph
             if density > best_density:
                 best_density = density
-                best_vertices = set(alive)
+                best_removed = len(peel_order)
+    if best_removed:
+        peeled = set(peel_order[:best_removed])
+        best_vertices = {v for v in graph_vertices if v not in peeled}
+    else:
+        best_vertices = set(graph_vertices)
     kmax = max(core.values(), default=0)
     return CliqueCoreResult(
         core=core,

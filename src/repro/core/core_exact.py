@@ -28,10 +28,16 @@ from typing import Optional
 
 from ..cliques.enumeration import enumerate_cliques
 from ..flow import dinic
-from ..flow.builders import build_cds_network, build_eds_network, vertices_of_cut
+from ..flow.builders import (
+    build_cds_network,
+    build_cds_parametric,
+    build_eds_network,
+    build_eds_parametric,
+    vertices_of_cut,
+)
 from ..graph.graph import Graph, Vertex
 from .clique_core import CliqueCoreResult, clique_core_decomposition
-from .exact import DensestSubgraphResult
+from .exact import DensestSubgraphResult, check_flow_engine
 
 
 class _ComponentState:
@@ -39,11 +45,17 @@ class _ComponentState:
 
     Rebuilt whenever CoreExact shrinks the component to a higher core,
     so clique enumeration is paid once per shrink, not per iteration.
+    With the default ``"reuse"`` engine the α-parametric flow network is
+    likewise built once per shrink and re-solved across the binary
+    search; ``"rebuild"`` reconstructs it per iteration.
     """
 
-    def __init__(self, graph: Graph, h: int):
+    def __init__(self, graph: Graph, h: int, flow_engine: str = "reuse"):
         self.graph = graph
         self.h = h
+        self.flow_engine = flow_engine
+        self._net = None
+        self.network_nodes = 0  # node count of the last-solved network
         if h >= 3:
             self.h_cliques = list(enumerate_cliques(graph, h))
             self.sub_cliques = list(enumerate_cliques(graph, h - 1))
@@ -67,6 +79,32 @@ class _ComponentState:
             sub_cliques=self.sub_cliques,
             degrees=self.degrees,
         )
+
+    def solve(self, alpha: float) -> set[Vertex]:
+        """Source-side cut vertex set of the min cut at guess ``alpha``."""
+        if self.flow_engine == "rebuild":
+            network = self.build_network(alpha)
+            self.network_nodes = network.num_nodes
+            dinic.max_flow(network)
+            return vertices_of_cut(network.min_cut_source_side())
+        if self._net is None:
+            if self.h == 2:
+                self._net = build_eds_parametric(self.graph)
+            else:
+                self._net = build_cds_parametric(
+                    self.graph,
+                    self.h,
+                    h_cliques=self.h_cliques,
+                    sub_cliques=self.sub_cliques,
+                    degrees=self.degrees,
+                )
+        self.network_nodes = self._net.num_nodes
+        return self._net.solve(alpha)
+
+    def checkpoint(self) -> None:
+        """Record the current flow as the warm-start base (new lower bound)."""
+        if self._net is not None:
+            self._net.checkpoint()
 
     def density(self) -> float:
         if self.graph.num_vertices == 0:
@@ -95,6 +133,7 @@ def core_exact_densest(
     pruning2: bool = True,
     pruning3: bool = True,
     decomposition: Optional[CliqueCoreResult] = None,
+    flow_engine: str = "reuse",
 ) -> DensestSubgraphResult:
     """CoreExact: exact CDS with core-based pruning.
 
@@ -108,6 +147,12 @@ def core_exact_densest(
     decomposition:
         Optionally a precomputed Algorithm-3 result, to amortise the
         decomposition across calls.
+    flow_engine:
+        ``"reuse"`` (default) builds one α-parametric network per
+        component (rebuilt on core shrinks) and re-solves it across the
+        binary search with warm-started flows; ``"rebuild"``
+        reconstructs the network every iteration (the pre-parametric
+        behaviour, kept for the flow-reuse ablation bench).
 
     Returns
     -------
@@ -115,6 +160,7 @@ def core_exact_densest(
     evaluation figures need: per-iteration flow-network sizes
     (Figure 9), decomposition vs total time (Table 3).
     """
+    check_flow_engine(flow_engine)
     n = graph.num_vertices
     start = time.perf_counter()
     if n == 0:
@@ -144,31 +190,53 @@ def core_exact_densest(
 
     core_vertices = {v for v, c in decomposition.core.items() if c >= k_locate}
     located = graph.subgraph(core_vertices)
-    components = [located.subgraph(cc) for cc in located.connected_components()]
+    # Component states cache the clique material *and* the α-parametric
+    # network; building them up front lets Pruning2 reuse the h-clique
+    # lists instead of re-enumerating every component.
+    comp_states = [
+        _ComponentState(located.subgraph(cc), h, flow_engine)
+        for cc in located.connected_components()
+    ]
 
     if pruning2:
         rho2 = 0.0
-        for comp in components:
-            mu = sum(1 for _ in enumerate_cliques(comp, h)) if h >= 3 else comp.num_edges
-            if comp.num_vertices:
-                density = mu / comp.num_vertices
-                if density > rho2:
-                    rho2 = density
-                    if density > low:
-                        best_vertices = set(comp.vertices())
+        for comp_state in comp_states:
+            density = comp_state.density()
+            if density > rho2:
+                rho2 = density
+                if density > low:
+                    best_vertices = set(comp_state.graph.vertices())
         if rho2 > low:
             low = rho2
         if math.ceil(rho2) > k_locate:
             k_locate = math.ceil(rho2)
             core_vertices = {v for v, c in decomposition.core.items() if c >= k_locate}
             located = graph.subgraph(core_vertices)
-            components = [located.subgraph(cc) for cc in located.connected_components()]
+            comp_states = [
+                _ComponentState(located.subgraph(cc), h, flow_engine)
+                for cc in located.connected_components()
+            ]
 
     iterations = 0
     network_sizes: list[int] = []
     candidate: Optional[set[Vertex]] = None
+    # Densities already known from the decomposition and the component
+    # states seed the cache, so the finalists below rarely trigger a
+    # fresh clique enumeration.
+    density_cache: dict[frozenset, float] = {
+        frozenset(decomposition.best_residual_vertices): decomposition.best_residual_density
+    }
+    for comp_state in comp_states:
+        density_cache[frozenset(comp_state.graph.vertices())] = comp_state.density()
 
-    for comp_graph in sorted(components, key=lambda g: -g.num_vertices):
+    def cached_density(vertices: set[Vertex]) -> float:
+        key = frozenset(vertices)
+        found = density_cache.get(key)
+        if found is None:
+            found = density_cache[key] = _subgraph_density(graph, vertices, h)
+        return found
+
+    for state in sorted(comp_states, key=lambda s: -s.num_vertices):
         # The upper bound must be per-component: infeasibility inside one
         # component says nothing about another, while kmax bounds every
         # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
@@ -177,21 +245,20 @@ def core_exact_densest(
         # line 6: if the global lower bound outgrew this core level,
         # intersect the component with the (⌈l⌉, Ψ)-core.
         if low > k_locate:
-            keep = {v for v in comp_graph if decomposition.core.get(v, 0) >= math.ceil(low)}
-            comp_graph = comp_graph.subgraph(keep)
-        if comp_graph.num_vertices == 0:
+            keep = {v for v in state.graph if decomposition.core.get(v, 0) >= math.ceil(low)}
+            if len(keep) < state.num_vertices:
+                state = _ComponentState(state.graph.subgraph(keep), h, flow_engine)
+        if state.num_vertices == 0:
             continue
-        state = _ComponentState(comp_graph, h)
 
         # lines 7-9: feasibility probe at α = l.
-        network = state.build_network(low)
-        network_sizes.append(network.num_nodes)
+        probe = state.solve(low)
+        network_sizes.append(state.network_nodes)
         iterations += 1
-        dinic.max_flow(network)
-        probe = vertices_of_cut(network.min_cut_source_side())
         if not probe:
             continue
         candidate_local = probe
+        state.checkpoint()  # all later guesses exceed l: warm-start base
 
         # lines 10-19: binary search within the component.
         while True:
@@ -202,11 +269,9 @@ def core_exact_densest(
             if high - low < resolution:
                 break
             alpha = (low + high) / 2.0
-            network = state.build_network(alpha)
-            network_sizes.append(network.num_nodes)
+            cut_vertices = state.solve(alpha)
+            network_sizes.append(state.network_nodes)
             iterations += 1
-            dinic.max_flow(network)
-            cut_vertices = vertices_of_cut(network.min_cut_source_side())
             if not cut_vertices:
                 high = alpha
             else:
@@ -215,22 +280,21 @@ def core_exact_densest(
                         v for v in state.graph if decomposition.core.get(v, 0) >= math.ceil(alpha)
                     }
                     if len(keep) < state.num_vertices:
-                        state = _ComponentState(state.graph.subgraph(keep), h)
+                        state = _ComponentState(state.graph.subgraph(keep), h, flow_engine)
                 low = alpha
                 candidate_local = cut_vertices
+                state.checkpoint()
 
         if candidate_local:
-            if candidate is None or _subgraph_density(graph, candidate_local, h) > _subgraph_density(
-                graph, candidate, h
-            ):
+            if candidate is None or cached_density(candidate_local) > cached_density(candidate):
                 candidate = candidate_local
 
     # --- pick the best of: binary-search result, Pruning1/2 seeds -----
     finalists = [best_vertices]
     if candidate:
         finalists.append(candidate)
-    best = max(finalists, key=lambda vs: _subgraph_density(graph, vs, h))
-    density = _subgraph_density(graph, best, h)
+    best = max(finalists, key=cached_density)
+    density = cached_density(best)
     total_seconds = time.perf_counter() - start
     return DensestSubgraphResult(
         vertices=set(best),
@@ -244,5 +308,6 @@ def core_exact_densest(
             "kmax": kmax,
             "k_locate": k_locate,
             "located_vertices": located.num_vertices,
+            "flow_engine": flow_engine,
         },
     )

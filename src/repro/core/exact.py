@@ -15,8 +15,29 @@ from typing import Optional
 
 from ..cliques.enumeration import clique_degrees, enumerate_cliques
 from ..flow import dinic
-from ..flow.builders import build_cds_network, build_eds_network, vertices_of_cut
+from ..flow.builders import (
+    build_cds_network,
+    build_cds_parametric,
+    build_eds_network,
+    build_eds_parametric,
+    vertices_of_cut,
+)
 from ..graph.graph import Graph, Vertex
+
+#: Valid values for the ``flow_engine`` knob of the exact algorithms:
+#: ``"reuse"`` builds one α-parametric arc-array network per (sub)graph
+#: and rewrites only the sink capacities across the binary search;
+#: ``"rebuild"`` reconstructs a fresh network every iteration (the
+#: pre-parametric behaviour, kept for the ablation bench).
+FLOW_ENGINES = ("reuse", "rebuild")
+
+
+def check_flow_engine(flow_engine: str) -> None:
+    """Raise ValueError on an unknown ``flow_engine`` value."""
+    if flow_engine not in FLOW_ENGINES:
+        raise ValueError(
+            f"unknown flow_engine {flow_engine!r}; choose from {list(FLOW_ENGINES)}"
+        )
 
 
 @dataclass
@@ -57,7 +78,9 @@ def _best_subgraph_density(graph: Graph, vertices: set[Vertex], h: int) -> float
     return count / sub.num_vertices
 
 
-def exact_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:
+def exact_densest(
+    graph: Graph, h: int = 2, *, flow_engine: str = "reuse"
+) -> DensestSubgraphResult:
     """Algorithm 1: exact CDS via binary search + min cut on the full graph.
 
     Parameters
@@ -66,6 +89,10 @@ def exact_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:
         Input graph.
     h:
         Clique size of Ψ (h = 2 gives the classical EDS).
+    flow_engine:
+        ``"reuse"`` (default) solves every binary-search iteration on
+        one α-parametric network; ``"rebuild"`` reconstructs the network
+        per iteration (pre-parametric behaviour, for the ablation).
 
     Returns
     -------
@@ -78,6 +105,7 @@ def exact_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:
     densities differ by at least that much (Lemma 12), so the last
     feasible cut is the optimum.
     """
+    check_flow_engine(flow_engine)
     n = graph.num_vertices
     if n == 0:
         return DensestSubgraphResult(set(), 0.0, "Exact")
@@ -92,6 +120,15 @@ def exact_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:
     h_cliques = list(enumerate_cliques(graph, h)) if h >= 3 else None
     sub_cliques = list(enumerate_cliques(graph, h - 1)) if h >= 3 else None
 
+    net = None
+    if flow_engine == "reuse":
+        if h == 2:
+            net = build_eds_parametric(graph)
+        else:
+            net = build_cds_parametric(
+                graph, h, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
+            )
+
     low, high = 0.0, float(upper)
     best: Optional[set[Vertex]] = None
     iterations = 0
@@ -101,20 +138,26 @@ def exact_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:
     while high - low >= resolution:
         iterations += 1
         alpha = (low + high) / 2.0
-        if h == 2:
-            network = build_eds_network(graph, alpha)
+        if net is not None:
+            cut_vertices = net.solve(alpha)
+            network_sizes.append(net.num_nodes)
         else:
-            network = build_cds_network(
-                graph, h, alpha, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
-            )
-        network_sizes.append(network.num_nodes)
-        dinic.max_flow(network)
-        cut_vertices = vertices_of_cut(network.min_cut_source_side())
+            if h == 2:
+                network = build_eds_network(graph, alpha)
+            else:
+                network = build_cds_network(
+                    graph, h, alpha, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
+                )
+            network_sizes.append(network.num_nodes)
+            dinic.max_flow(network)
+            cut_vertices = vertices_of_cut(network.min_cut_source_side())
         if not cut_vertices:
             high = alpha
         else:
             low = alpha
             best = cut_vertices
+            if net is not None:
+                net.checkpoint()
 
     if best is None:
         # ρ_opt below the first guess resolution: densest is the max-degree

@@ -23,7 +23,12 @@ from typing import Optional, Sequence
 
 from ..cliques.enumeration import CliqueIndex
 from ..flow import dinic
-from ..flow.builders import build_pds_network, build_pds_network_grouped, vertices_of_cut
+from ..flow.builders import (
+    build_pds_network,
+    build_pds_network_grouped,
+    build_pds_parametric,
+    vertices_of_cut,
+)
 from ..graph.graph import Graph, Vertex
 from ..patterns.isomorphism import (
     Instance,
@@ -32,7 +37,7 @@ from ..patterns.isomorphism import (
 )
 from ..patterns.pattern import Pattern
 from .clique_core import CliqueCoreResult, peel_index_decomposition
-from .exact import DensestSubgraphResult
+from .exact import DensestSubgraphResult, check_flow_engine
 from .pattern_core import pattern_core_decomposition, pattern_index
 from .peel import peel_densest
 
@@ -60,12 +65,17 @@ def _density_of(graph: Graph, vertices: set[Vertex], pattern: Pattern) -> float:
     return len(enumerate_pattern_instances(sub, pattern)) / sub.num_vertices
 
 
-def p_exact_densest(graph: Graph, pattern: Pattern) -> DensestSubgraphResult:
+def p_exact_densest(
+    graph: Graph, pattern: Pattern, *, flow_engine: str = "reuse"
+) -> DensestSubgraphResult:
     """Algorithm 8 (PExact): exact PDS on the full graph.
 
     One flow node per pattern instance; arcs ``v -> ψ`` capacity 1 and
-    ``ψ -> v`` capacity ``|V_Ψ| - 1``.
+    ``ψ -> v`` capacity ``|V_Ψ| - 1``.  With the default ``"reuse"``
+    engine the network is built once and only the α-dependent sink
+    capacities change across the binary search.
     """
+    check_flow_engine(flow_engine)
     n = graph.num_vertices
     if n == 0:
         return DensestSubgraphResult(set(), 0.0, "PExact")
@@ -78,6 +88,10 @@ def p_exact_densest(graph: Graph, pattern: Pattern) -> DensestSubgraphResult:
         for v in members:
             degrees[v] += 1
 
+    net = None
+    if flow_engine == "reuse":
+        net = build_pds_parametric(graph, pattern.size, vertex_sets, degrees=degrees)
+
     low, high = 0.0, float(max(degrees.values()))
     resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
     best: Optional[set[Vertex]] = None
@@ -86,15 +100,21 @@ def p_exact_densest(graph: Graph, pattern: Pattern) -> DensestSubgraphResult:
     while high - low >= resolution:
         iterations += 1
         alpha = (low + high) / 2.0
-        network = build_pds_network(graph, pattern.size, alpha, vertex_sets, degrees=degrees)
-        network_sizes.append(network.num_nodes)
-        dinic.max_flow(network)
-        cut = vertices_of_cut(network.min_cut_source_side())
+        if net is not None:
+            cut = net.solve(alpha)
+            network_sizes.append(net.num_nodes)
+        else:
+            network = build_pds_network(graph, pattern.size, alpha, vertex_sets, degrees=degrees)
+            network_sizes.append(network.num_nodes)
+            dinic.max_flow(network)
+            cut = vertices_of_cut(network.min_cut_source_side())
         if not cut:
             high = alpha
         else:
             low = alpha
             best = cut
+            if net is not None:
+                net.checkpoint()
     if best is None:
         best = set(graph.vertices())
     return DensestSubgraphResult(
@@ -107,11 +127,24 @@ def p_exact_densest(graph: Graph, pattern: Pattern) -> DensestSubgraphResult:
 
 
 class _PatternComponentState:
-    """A component plus its pattern instances, rebuilt on each shrink."""
+    """A component plus its pattern instances, rebuilt on each shrink.
 
-    def __init__(self, graph: Graph, pattern: Pattern, instances: Sequence[frozenset]):
+    With the ``"reuse"`` engine the grouped ``construct+`` network is
+    built once per shrink as an α-parametric network and re-solved.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        instances: Sequence[frozenset],
+        flow_engine: str = "reuse",
+    ):
         self.graph = graph
         self.pattern = pattern
+        self.flow_engine = flow_engine
+        self._net = None
+        self.network_nodes = 0  # node count of the last-solved network
         members = set(graph.vertices())
         self.vertex_sets = [s for s in instances if s <= members]
         self.degrees: dict[Vertex, int] = defaultdict(int)
@@ -123,6 +156,29 @@ class _PatternComponentState:
         return build_pds_network_grouped(
             self.graph, self.pattern.size, alpha, self.vertex_sets, degrees=self.degrees
         )
+
+    def solve(self, alpha: float) -> set[Vertex]:
+        """Source-side cut vertex set of the min cut at guess ``alpha``."""
+        if self.flow_engine == "rebuild":
+            network = self.build_network(alpha)
+            self.network_nodes = network.num_nodes
+            dinic.max_flow(network)
+            return vertices_of_cut(network.min_cut_source_side())
+        if self._net is None:
+            self._net = build_pds_parametric(
+                self.graph,
+                self.pattern.size,
+                self.vertex_sets,
+                degrees=self.degrees,
+                grouped=True,
+            )
+        self.network_nodes = self._net.num_nodes
+        return self._net.solve(alpha)
+
+    def checkpoint(self) -> None:
+        """Record the current flow as the warm-start base (new lower bound)."""
+        if self._net is not None:
+            self._net.checkpoint()
 
     def density(self) -> float:
         if self.graph.num_vertices == 0:
@@ -139,13 +195,16 @@ def core_p_exact_densest(
     pattern: Pattern,
     *,
     decomposition: Optional[CliqueCoreResult] = None,
+    flow_engine: str = "reuse",
 ) -> DensestSubgraphResult:
     """CorePExact: exact PDS with pattern-core location and ``construct+``.
 
     Mirrors CoreExact (Algorithm 4) with pattern-cores in place of
     clique-cores and the grouped flow network of Algorithm 7 in place
-    of the per-instance network, plus the same Pruning1/2/3.
+    of the per-instance network, plus the same Pruning1/2/3.  The
+    ``flow_engine`` knob matches :func:`~repro.core.core_exact.core_exact_densest`.
     """
+    check_flow_engine(flow_engine)
     n = graph.num_vertices
     start = time.perf_counter()
     if n == 0:
@@ -171,7 +230,9 @@ def core_p_exact_densest(
     components = [located.subgraph(cc) for cc in located.connected_components()]
 
     # Pruning2: per-component densities
-    comp_states = [_PatternComponentState(c, pattern, vertex_sets) for c in components]
+    comp_states = [
+        _PatternComponentState(c, pattern, vertex_sets, flow_engine) for c in components
+    ]
     rho2 = 0.0
     for state in comp_states:
         density = state.density()
@@ -186,31 +247,40 @@ def core_p_exact_densest(
         core_vertices = {v for v, c in decomposition.core.items() if c >= k_locate}
         located = graph.subgraph(core_vertices)
         comp_states = [
-            _PatternComponentState(located.subgraph(cc), pattern, vertex_sets)
+            _PatternComponentState(located.subgraph(cc), pattern, vertex_sets, flow_engine)
             for cc in located.connected_components()
         ]
 
     iterations = 0
     network_sizes: list[int] = []
     candidate: Optional[set[Vertex]] = None
+    density_cache: dict[frozenset, float] = {}
+
+    def cached_density(vertices) -> float:
+        key = frozenset(vertices)
+        found = density_cache.get(key)
+        if found is None:
+            found = density_cache[key] = _density_of(graph, vertices, pattern)
+        return found
 
     for state in sorted(comp_states, key=lambda s: -s.num_vertices):
         high = float(kmax)
         if low > k_locate:
             keep = {v for v in state.graph if decomposition.core.get(v, 0) >= math.ceil(low)}
             if len(keep) < state.num_vertices:
-                state = _PatternComponentState(state.graph.subgraph(keep), pattern, vertex_sets)
+                state = _PatternComponentState(
+                    state.graph.subgraph(keep), pattern, vertex_sets, flow_engine
+                )
         if state.num_vertices == 0:
             continue
 
-        network = state.build_network(low)
-        network_sizes.append(network.num_nodes)
+        probe = state.solve(low)
+        network_sizes.append(state.network_nodes)
         iterations += 1
-        dinic.max_flow(network)
-        probe = vertices_of_cut(network.min_cut_source_side())
         if not probe:
             continue
         candidate_local = probe
+        state.checkpoint()  # all later guesses exceed l: warm-start base
 
         while True:
             nc = state.num_vertices
@@ -218,11 +288,9 @@ def core_p_exact_densest(
             if high - low < resolution:
                 break
             alpha = (low + high) / 2.0
-            network = state.build_network(alpha)
-            network_sizes.append(network.num_nodes)
+            cut = state.solve(alpha)
+            network_sizes.append(state.network_nodes)
             iterations += 1
-            dinic.max_flow(network)
-            cut = vertices_of_cut(network.min_cut_source_side())
             if not cut:
                 high = alpha
             else:
@@ -232,24 +300,24 @@ def core_p_exact_densest(
                     }
                     if len(keep) < state.num_vertices:
                         state = _PatternComponentState(
-                            state.graph.subgraph(keep), pattern, vertex_sets
+                            state.graph.subgraph(keep), pattern, vertex_sets, flow_engine
                         )
                 low = alpha
                 candidate_local = cut
+                state.checkpoint()
 
         if candidate_local and (
-            candidate is None
-            or _density_of(graph, candidate_local, pattern) > _density_of(graph, candidate, pattern)
+            candidate is None or cached_density(candidate_local) > cached_density(candidate)
         ):
             candidate = candidate_local
 
     finalists = [best_vertices]
     if candidate:
         finalists.append(candidate)
-    best = max(finalists, key=lambda vs: _density_of(graph, vs, pattern))
+    best = max(finalists, key=cached_density)
     return DensestSubgraphResult(
         vertices=set(best),
-        density=_density_of(graph, best, pattern),
+        density=cached_density(best),
         method="CorePExact",
         iterations=iterations,
         stats={

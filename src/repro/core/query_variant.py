@@ -19,9 +19,14 @@ import math
 from typing import Iterable
 
 from ..flow import dinic
-from ..flow.builders import SINK, SOURCE, build_eds_network, vertices_of_cut
+from ..flow.builders import (
+    SOURCE,
+    build_eds_network,
+    build_eds_parametric,
+    vertices_of_cut,
+)
 from ..graph.graph import Graph, Vertex
-from .exact import DensestSubgraphResult
+from .exact import DensestSubgraphResult, check_flow_engine
 from .kcore import core_decomposition
 
 
@@ -42,12 +47,16 @@ def anchored_core(graph: Graph, anchors: set[Vertex], k: int) -> Graph:
     return work
 
 
-def query_densest(graph: Graph, query: Iterable[Vertex]) -> DensestSubgraphResult:
+def query_densest(
+    graph: Graph, query: Iterable[Vertex], *, flow_engine: str = "reuse"
+) -> DensestSubgraphResult:
     """Densest (edge-density) subgraph containing every query vertex.
 
     Binary search over α on a Goldberg network restricted to the
     anchored core, with infinite source arcs pinning the query vertices
-    to the source side of every cut.
+    to the source side of every cut.  With the default ``"reuse"``
+    engine the anchored network is α-parametric and only rebuilt when
+    the anchored core shrinks.
 
     Raises
     ------
@@ -56,6 +65,7 @@ def query_densest(graph: Graph, query: Iterable[Vertex]) -> DensestSubgraphResul
     ValueError
         If the query set is empty.
     """
+    check_flow_engine(flow_engine)
     anchors = set(query)
     if not anchors:
         raise ValueError("query set must be non-empty")
@@ -80,20 +90,31 @@ def query_densest(graph: Graph, query: Iterable[Vertex]) -> DensestSubgraphResul
     high = float(domain.max_degree())
     resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
     iterations = 0
+    net = None
     while high - low >= resolution:
         iterations += 1
         alpha = (low + high) / 2.0
-        network = build_eds_network(domain, alpha)
-        for q in anchors:
-            network.add_arc(SOURCE, ("v", q), float("inf"))
-        dinic.max_flow(network)
-        cut = vertices_of_cut(network.min_cut_source_side())
+        if flow_engine == "reuse":
+            if net is None:
+                net = build_eds_parametric(domain, anchors=anchors)
+            cut = net.solve(alpha)
+        else:
+            network = build_eds_network(domain, alpha)
+            for q in anchors:
+                network.add_arc(SOURCE, ("v", q), float("inf"))
+            dinic.max_flow(network)
+            cut = vertices_of_cut(network.min_cut_source_side())
         sub = domain.subgraph(cut)
         if sub.num_vertices and sub.edge_density() > alpha:
             low = alpha
             if sub.edge_density() > graph.subgraph(best).edge_density():
                 best = cut
-            domain = anchored_core(domain, anchors, math.ceil(low))
+            if net is not None:
+                net.checkpoint()
+            shrunk = anchored_core(domain, anchors, math.ceil(low))
+            if shrunk.num_vertices < domain.num_vertices:
+                net = None  # topology changed: rebuild the parametric net
+            domain = shrunk
         else:
             high = alpha
     sub = graph.subgraph(best)

@@ -2,5 +2,6 @@
 
 from . import builders, dinic, push_relabel
 from .network import FlowNetwork
+from .parametric import ParametricNetwork
 
-__all__ = ["FlowNetwork", "dinic", "push_relabel", "builders"]
+__all__ = ["FlowNetwork", "ParametricNetwork", "dinic", "push_relabel", "builders"]

@@ -14,6 +14,11 @@ Four builders, one per construction in the paper:
   arcs ``v -> g`` capacity ``|g|`` and ``g -> v`` capacity
   ``|g|(|V_Ψ| - 1)``.
 
+Each construction also has a ``*_parametric`` twin that emits a
+:class:`~repro.flow.parametric.ParametricNetwork`: the α-independent
+arc arrays are assembled once and the α-dependent sink capacities are
+rewritten in place by ``set_alpha`` across a whole binary search.
+
 All builders answer the decision question "is there a subgraph with
 Ψ-density > α?": after a max-flow run, the source side of the min cut
 minus ``s`` induces such a subgraph iff it is non-empty (Lemma 14).
@@ -27,6 +32,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 from ..cliques.enumeration import clique_degrees, enumerate_cliques
 from ..graph.graph import Graph, Vertex
 from .network import FlowNetwork
+from .parametric import ParametricNetwork
 
 #: Sentinel source / sink node labels (tuples cannot collide with vertices
 #: used by this package's builders, which wrap vertices as ("v", x)).
@@ -148,6 +154,177 @@ def build_pds_network(
             net.add_arc(_vertex_node(v), node, 1.0)
             net.add_arc(node, _vertex_node(v), float(pattern_size - 1))
     return net
+
+
+class _ParametricAssembler:
+    """Accumulates paired arcs over dense integer node ids.
+
+    Graph vertices take ids ``0..nv-1``, then source and sink; instance
+    or group nodes are allocated on demand after those.  Arc insertion
+    order matches the legacy per-α builders so the solvers traverse both
+    representations identically.
+    """
+
+    def __init__(self, vertices: Sequence[Vertex]):
+        self.vertices = list(vertices)
+        self.index = {v: i for i, v in enumerate(self.vertices)}
+        self.source = len(self.vertices)
+        self.sink = self.source + 1
+        self.num_nodes = self.sink + 1
+        self.head: list[int] = []
+        self.cap: list[float] = []
+        self.alpha_arcs: list[int] = []
+        self.alpha_coeff: list[float] = []
+        self.alpha_src: list[int] = []
+
+    def arc(self, u: int, v: int, capacity: float) -> int:
+        arc_id = len(self.head)
+        self.head.append(v)
+        self.cap.append(capacity)
+        self.head.append(u)
+        self.cap.append(0.0)
+        return arc_id
+
+    def alpha_arc(self, u: int, v: int, base: float, coeff: float, source_arc: int = -1) -> None:
+        """An arc with capacity ``base + coeff * α`` (capacity at α=0: base).
+
+        ``source_arc`` names the vertex's paired ``s -> u`` arc, enabling
+        the pass-through cancellation on cold solves.
+        """
+        self.alpha_arcs.append(len(self.head))
+        self.alpha_coeff.append(coeff)
+        self.alpha_src.append(source_arc)
+        self.arc(u, v, base)
+
+    def aux_node(self) -> int:
+        nid = self.num_nodes
+        self.num_nodes += 1
+        return nid
+
+    def build(self) -> ParametricNetwork:
+        return ParametricNetwork(
+            self.num_nodes,
+            self.source,
+            self.sink,
+            self.head,
+            self.cap,
+            self.alpha_arcs,
+            self.alpha_coeff,
+            self.vertices,
+            alpha_src=self.alpha_src,
+        )
+
+
+def build_eds_parametric(graph: Graph, anchors: Iterable[Vertex] = ()) -> ParametricNetwork:
+    """Parametric Goldberg EDS network: sink caps ``(m - deg(v)) + 2α``.
+
+    ``anchors`` get an extra infinite ``s -> v`` arc pinning them to the
+    source side of every cut (the query-variant construction).
+    """
+    m = float(graph.num_edges)
+    asm = _ParametricAssembler(list(graph))
+    for i, v in enumerate(asm.vertices):
+        src = asm.arc(asm.source, i, m)
+        asm.alpha_arc(i, asm.sink, m - graph.degree(v), 2.0, source_arc=src)
+    index = asm.index
+    ha, ca = asm.head.append, asm.cap.append  # inlined asm.arc: hot loop
+    for u, v in graph.edges():
+        ui, vi = index[u], index[v]
+        ha(vi), ca(1.0), ha(ui), ca(0.0)
+        ha(ui), ca(1.0), ha(vi), ca(0.0)
+    for q in anchors:
+        asm.arc(asm.source, index[q], INF)
+    return asm.build()
+
+
+def build_cds_parametric(
+    graph: Graph,
+    h: int,
+    h_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
+    sub_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
+    degrees: Optional[Mapping[Vertex, int]] = None,
+) -> ParametricNetwork:
+    """Parametric Algorithm-1 network (h >= 3): sink caps ``α·h``."""
+    if h < 3:
+        raise ValueError("use build_eds_parametric for h == 2")
+    if h_cliques is None:
+        h_cliques = list(enumerate_cliques(graph, h))
+    if sub_cliques is None:
+        sub_cliques = list(enumerate_cliques(graph, h - 1))
+    if degrees is None:
+        degrees = defaultdict(int)
+        for inst in h_cliques:
+            for v in inst:
+                degrees[v] += 1
+
+    asm = _ParametricAssembler(list(graph))
+    for i, v in enumerate(asm.vertices):
+        src = asm.arc(asm.source, i, float(degrees.get(v, 0)))
+        asm.alpha_arc(i, asm.sink, 0.0, float(h), source_arc=src)
+
+    index = asm.index
+    ha, ca = asm.head.append, asm.cap.append  # inlined asm.arc: hot loops
+    psi_id: dict[frozenset, int] = {}
+    for psi in sub_cliques:
+        node = asm.aux_node()
+        psi_id[frozenset(psi)] = node
+        for v in psi:
+            ha(index[v]), ca(INF), ha(node), ca(0.0)
+
+    # v -> ψ arcs: for each h-clique K and member v, ψ = K \ {v}.
+    get_psi = psi_id.get
+    for inst in h_cliques:
+        members = frozenset(inst)
+        for v in inst:
+            node = get_psi(members - {v})
+            if node is not None:
+                ha(node), ca(1.0), ha(index[v]), ca(0.0)
+    return asm.build()
+
+
+def build_pds_parametric(
+    graph: Graph,
+    pattern_size: int,
+    instances: Sequence[frozenset],
+    degrees: Optional[Mapping[Vertex, int]] = None,
+    grouped: bool = False,
+) -> ParametricNetwork:
+    """Parametric PDS network: Algorithm 8, or ``construct+`` if grouped.
+
+    Sink caps are ``α·|V_Ψ|``; the instance/group arcs are exactly those
+    of :func:`build_pds_network` / :func:`build_pds_network_grouped`.
+    """
+    if degrees is None:
+        degrees = defaultdict(int)
+        for inst in instances:
+            for v in inst:
+                degrees[v] += 1
+    asm = _ParametricAssembler(list(graph))
+    for i, v in enumerate(asm.vertices):
+        src = asm.arc(asm.source, i, float(degrees.get(v, 0)))
+        asm.alpha_arc(i, asm.sink, 0.0, float(pattern_size), source_arc=src)
+    index = asm.index
+    ha, ca = asm.head.append, asm.cap.append  # inlined asm.arc: hot loops
+    if grouped:
+        groups: dict[frozenset, int] = defaultdict(int)
+        for inst in instances:
+            groups[frozenset(inst)] += 1
+        for members, size in groups.items():
+            node = asm.aux_node()
+            back = float(size * (pattern_size - 1))
+            for v in members:
+                iv = index[v]
+                ha(node), ca(float(size)), ha(iv), ca(0.0)
+                ha(iv), ca(back), ha(node), ca(0.0)
+    else:
+        back = float(pattern_size - 1)
+        for inst in instances:
+            node = asm.aux_node()
+            for v in inst:
+                iv = index[v]
+                ha(node), ca(1.0), ha(iv), ca(0.0)
+                ha(iv), ca(back), ha(node), ca(0.0)
+    return asm.build()
 
 
 def build_pds_network_grouped(

@@ -6,51 +6,122 @@ produce (the paper's reference uses Gusfield's variant; any exact solver
 yields identical min cuts).  The blocking-flow DFS is iterative so deep
 level graphs (the Goldberg EDS network chains vertex nodes) cannot hit
 the interpreter recursion limit.
+
+The solver runs on the flat arc arrays exposed by
+``network.flow_arrays()`` (both :class:`~repro.flow.network.FlowNetwork`
+and :class:`~repro.flow.parametric.ParametricNetwork` provide it).  On
+networks above :data:`NUMPY_BFS_MIN_ARCS` arcs the BFS level
+construction is vectorised with numpy: each round relaxes every residual
+arc whose tail sits on the current frontier in a handful of O(E) array
+ops, which beats the scalar queue on the shallow DSD networks.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from .network import EPS
 
-from .network import EPS, FlowNetwork
+try:  # optional: the scalar BFS is used when numpy is absent
+    import numpy as np
+except ImportError:  # pragma: no cover - environment-specific
+    np = None
+
+#: Arc-array length above which the vectorised BFS pays for its
+#: per-call numpy overhead (tuned on the bench surrogates).
+NUMPY_BFS_MIN_ARCS = 8192
 
 
-def max_flow(network: FlowNetwork) -> float:
-    """Run Dinic on ``network`` in place; return the max-flow value.
+def _levels_scalar(
+    head: list[int],
+    cap: list[float],
+    adj_start: list[int],
+    adj_arcs: list[int],
+    n: int,
+    source: int,
+    sink: int,
+) -> list[int]:
+    """BFS levels over residual arcs; stops once the sink's level is set."""
+    level = [-1] * n
+    level[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier and level[sink] < 0:
+        depth += 1
+        nxt: list[int] = []
+        for u in frontier:
+            for idx in range(adj_start[u], adj_start[u + 1]):
+                arc = adj_arcs[idx]
+                v = head[arc]
+                if level[v] < 0 and cap[arc] > EPS:
+                    level[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return level
+
+
+def _levels_numpy(
+    head_np: "np.ndarray",
+    tail_np: "np.ndarray",
+    cap: list[float],
+    n: int,
+    source: int,
+    sink: int,
+) -> list[int]:
+    """Arc-parallel BFS: one vectorised relaxation pass per level."""
+    residual = np.asarray(cap) > EPS
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    depth = 0
+    while True:
+        grow = residual & (level[tail_np] == depth) & (level[head_np] < 0)
+        if not grow.any():
+            break
+        level[head_np[grow]] = depth + 1
+        if level[sink] >= 0:
+            break
+        depth += 1
+    return level.tolist()
+
+
+def max_flow(network) -> float:
+    """Run Dinic on ``network`` in place; return the flow value pushed.
 
     Residual capacities are left in the network so the caller can read
-    the min cut with :meth:`FlowNetwork.min_cut_source_side`.
+    the min cut with ``min_cut_source_side`` / ``cut_vertices``.  When
+    the network already carries flow (a warm-started
+    :class:`~repro.flow.parametric.ParametricNetwork`), the return value
+    is the *additional* flow pushed, and the residual state on exit is a
+    max flow all the same.
     """
-    source = network.node_id(network.source)
-    sink = network.node_id(network.sink)
+    source, sink, head, cap, adj_start, adj_arcs = network.flow_arrays()
     if source == sink:
         raise ValueError("source and sink must differ")
-    head, cap, adj = network.head, network.cap, network.adj
-    n = network.num_nodes
+    n = len(adj_start) - 1
     total = 0.0
+
+    use_numpy = np is not None and len(head) >= NUMPY_BFS_MIN_ARCS
+    if use_numpy:
+        head_np = np.asarray(head, dtype=np.int64)
+        tail_np = head_np.reshape(-1, 2)[:, ::-1].reshape(-1)
 
     while True:
         # --- BFS: build the level graph ------------------------------
-        level = [-1] * n
-        level[source] = 0
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            for arc in adj[u]:
-                v = head[arc]
-                if cap[arc] > EPS and level[v] < 0:
-                    level[v] = level[u] + 1
-                    queue.append(v)
+        if use_numpy:
+            level = _levels_numpy(head_np, tail_np, cap, n, source, sink)
+        else:
+            level = _levels_scalar(head, cap, adj_start, adj_arcs, n, source, sink)
         if level[sink] < 0:
             return total
 
         # --- iterative DFS: push a blocking flow ----------------------
-        it = [0] * n
+        it = adj_start[:n]  # per-node cursor into adj_arcs
         path: list[int] = []  # arcs from source down to the frontier
         u = source
         while True:
             if u == sink:
-                pushed = min(cap[arc] for arc in path)
+                pushed = cap[path[0]]
+                for arc in path:
+                    if cap[arc] < pushed:
+                        pushed = cap[arc]
                 for arc in path:
                     cap[arc] -= pushed
                     cap[arc ^ 1] += pushed
@@ -63,8 +134,9 @@ def max_flow(network: FlowNetwork) -> float:
                         break
                 continue
             advanced = False
-            while it[u] < len(adj[u]):
-                arc = adj[u][it[u]]
+            end = adj_start[u + 1]
+            while it[u] < end:
+                arc = adj_arcs[it[u]]
                 v = head[arc]
                 if cap[arc] > EPS and level[v] == level[u] + 1:
                     path.append(arc)
@@ -83,7 +155,7 @@ def max_flow(network: FlowNetwork) -> float:
             it[u] += 1
 
 
-def min_cut(network: FlowNetwork) -> tuple[float, set]:
+def min_cut(network) -> tuple[float, set]:
     """Max-flow value and the source-side node set of a minimum s-t cut."""
     value = max_flow(network)
     return value, network.min_cut_source_side()

@@ -1,8 +1,12 @@
 """Flow-network representation used by the exact DSD algorithms.
 
 A :class:`FlowNetwork` is a directed graph with float capacities, a
-distinguished source ``s`` and sink ``t``, stored as arc arrays with the
-usual paired reverse-arc layout so residual updates are O(1).
+distinguished source ``s`` and sink ``t``, stored as flat arc arrays
+with the usual paired reverse-arc layout so residual updates are O(1).
+Adjacency is a CSR index over the arc arrays (``adj_start`` offsets into
+``adj_arcs``), built lazily once arcs stop being added; the solvers in
+:mod:`repro.flow.dinic` and :mod:`repro.flow.push_relabel` run directly
+on these arrays via :meth:`FlowNetwork.flow_arrays`.
 
 Capacities may be ``float('inf')`` (the Ψ→v arcs of Algorithm 1).  The
 binary-search guesses ``α`` are reals, so all solvers work on floats
@@ -16,10 +20,77 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+try:  # numpy accelerates CSR assembly; the flow layer works without it
+    import numpy as np
+except ImportError:  # pragma: no cover - environment-specific
+    np = None
+
 Node = Hashable
 
 #: Capacity below which an arc is treated as saturated / absent.
 EPS = 1e-9
+
+#: Below this arc count the pure-Python CSR build beats the numpy one.
+_NUMPY_CSR_MIN_ARCS = 1024
+
+
+def build_csr(head: list[int], num_nodes: int) -> tuple[list[int], list[int]]:
+    """CSR adjacency over paired arc arrays.
+
+    ``head[i]`` is the head node of arc ``i`` and arc ``i ^ 1`` is its
+    reverse, so the tail of arc ``i`` is ``head[i ^ 1]``.  Returns
+    ``(adj_start, adj_arcs)`` with the arcs leaving node ``u`` at
+    ``adj_arcs[adj_start[u]:adj_start[u + 1]]`` in insertion order
+    (both builds are stable, so solver traversal order is deterministic).
+    """
+    num_arcs = len(head)
+    if np is not None and num_arcs >= _NUMPY_CSR_MIN_ARCS:
+        head_np = np.asarray(head, dtype=np.int64)
+        tails = head_np.reshape(-1, 2)[:, ::-1].reshape(-1)
+        counts = np.bincount(tails, minlength=num_nodes)
+        adj_start = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=adj_start[1:])
+        adj_arcs = np.argsort(tails, kind="stable")
+        return adj_start.tolist(), adj_arcs.tolist()
+    adj_start = [0] * (num_nodes + 1)
+    for a in range(num_arcs):
+        adj_start[head[a ^ 1] + 1] += 1
+    for i in range(num_nodes):
+        adj_start[i + 1] += adj_start[i]
+    fill = list(adj_start)
+    adj_arcs = [0] * num_arcs
+    for a in range(num_arcs):
+        t = head[a ^ 1]
+        adj_arcs[fill[t]] = a
+        fill[t] += 1
+    return adj_start, adj_arcs
+
+
+def source_reachable(
+    head: list[int],
+    cap: list[float],
+    adj_start: list[int],
+    adj_arcs: list[int],
+    source: int,
+) -> bytearray:
+    """Nodes reachable from ``source`` through residual arcs (> EPS).
+
+    Run after a max-flow solver: the reachable set is the unique
+    minimal source side of a minimum s-t cut.  Shared by
+    :class:`FlowNetwork` and ``ParametricNetwork``.
+    """
+    seen = bytearray(len(adj_start) - 1)
+    seen[source] = 1
+    stack = [source]
+    while stack:
+        u = stack.pop()
+        for idx in range(adj_start[u], adj_start[u + 1]):
+            arc = adj_arcs[idx]
+            v = head[arc]
+            if not seen[v] and cap[arc] > EPS:
+                seen[v] = 1
+                stack.append(v)
+    return seen
 
 
 class FlowNetwork:
@@ -38,7 +109,8 @@ class FlowNetwork:
         # arc arrays: to[i], cap[i]; arc i^1 is the reverse of arc i
         self.head: list[int] = []
         self.cap: list[float] = []
-        self.adj: list[list[int]] = []
+        self._adj_start: list[int] | None = None
+        self._adj_arcs: list[int] | None = None
         self.node_id(source)
         self.node_id(sink)
 
@@ -49,7 +121,7 @@ class FlowNetwork:
             nid = len(self._nodes)
             self._ids[node] = nid
             self._nodes.append(node)
-            self.adj.append([])
+            self._adj_start = None
         return nid
 
     @property
@@ -71,12 +143,34 @@ class FlowNetwork:
         if capacity < 0:
             raise ValueError("arc capacity must be non-negative")
         ui, vi = self.node_id(u), self.node_id(v)
-        self.adj[ui].append(len(self.head))
         self.head.append(vi)
         self.cap.append(capacity)
-        self.adj[vi].append(len(self.head))
         self.head.append(ui)
         self.cap.append(0.0)
+        self._adj_start = None
+
+    def csr(self) -> tuple[list[int], list[int]]:
+        """``(adj_start, adj_arcs)``: lazy CSR index over the arc arrays."""
+        if self._adj_start is None:
+            self._adj_start, self._adj_arcs = build_csr(self.head, len(self._nodes))
+        return self._adj_start, self._adj_arcs
+
+    @property
+    def adj(self) -> list[list[int]]:
+        """Per-node arc lists (materialised from the CSR index on demand)."""
+        adj_start, adj_arcs = self.csr()
+        return [
+            adj_arcs[adj_start[u] : adj_start[u + 1]] for u in range(len(self._nodes))
+        ]
+
+    def flow_arrays(self) -> tuple[int, int, list[int], list[float], list[int], list[int]]:
+        """``(source, sink, head, cap, adj_start, adj_arcs)`` for the solvers.
+
+        The returned ``cap`` list is the live residual array: solvers
+        mutate it in place.
+        """
+        adj_start, adj_arcs = self.csr()
+        return self._ids[self.source], self._ids[self.sink], self.head, self.cap, adj_start, adj_arcs
 
     def reset(self, capacities: list[float]) -> None:
         """Restore all arc capacities (e.g. to re-run a solver)."""
@@ -95,16 +189,8 @@ class FlowNetwork:
         reachable from the source through arcs with residual capacity
         above :data:`EPS`.
         """
-        sid = self._ids[self.source]
-        seen = [False] * len(self._nodes)
-        seen[sid] = True
-        stack = [sid]
-        while stack:
-            u = stack.pop()
-            for arc in self.adj[u]:
-                if self.cap[arc] > EPS and not seen[self.head[arc]]:
-                    seen[self.head[arc]] = True
-                    stack.append(self.head[arc])
+        adj_start, adj_arcs = self.csr()
+        seen = source_reachable(self.head, self.cap, adj_start, adj_arcs, self._ids[self.source])
         return {self._nodes[i] for i, flag in enumerate(seen) if flag}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,252 @@
+"""α-parametric flow networks: build the arcs once, re-solve many times.
+
+Every flow construction in the paper (Goldberg EDS, the Algorithm-1 CDS
+network, the PDS networks of Algorithms 7/8) shares one shape across the
+binary search on the density guess α: *only the ``v → t`` sink-arc
+capacities depend on α*, and each is an affine function ``base +
+coeff·α`` with ``coeff > 0``.  The topology, the source arcs and the
+middle arcs never change.
+
+:class:`ParametricNetwork` exploits that.  It stores the network as flat
+paired arc arrays plus a CSR adjacency index (built once, with numpy
+when available), remembers which arcs are α-dependent, and offers three
+re-solve strategies, cheapest first:
+
+* **advance** -- the requested α is at least the α of the current
+  residual state.  Capacities only grow, so the flow already in the
+  network stays feasible; Dinic merely augments the difference.
+* **checkpoint restore** -- the caller recorded the residual state at
+  the best feasible lower bound (``checkpoint()``); any later guess of
+  the binary search exceeds that bound, so the network restores the
+  checkpointed max flow in one O(E) copy and advances from there.
+* **cold reset** -- otherwise, capacities are recomputed from
+  ``base + coeff·α`` and the flow starts from zero (bit-equal to a
+  fresh build at that α).
+
+Monotonicity argument: for α' ≥ α every capacity satisfies
+``cap(α') ≥ cap(α)``, so a feasible (in particular a maximum) flow for α
+is feasible for α', and augmenting it to a maximum flow yields the same
+*minimal* source-side min cut as a cold solve -- the source-reachable
+set in the residual graph of a maximum flow is the unique minimal min
+cut, independent of which maximum flow was reached.  Sink-arc residuals
+are recomputed as ``(base + coeff·α) − flow`` (flow read off the
+reverse arc), not accumulated, so no float drift builds up across a
+warm chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .network import EPS, build_csr, source_reachable
+
+
+class ParametricNetwork:
+    """CSR arc-array flow network whose sink capacities are affine in α.
+
+    Node ids are dense integers: the graph vertices occupy ``0..nv-1``
+    (``vertex_labels[i]`` maps back to the external label), then source,
+    sink, and any instance/group nodes.  Use the builders in
+    :mod:`repro.flow.builders` (``build_eds_parametric`` and friends)
+    rather than constructing directly.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "source",
+        "sink",
+        "head",
+        "base_cap",
+        "cap",
+        "adj_start",
+        "adj_arcs",
+        "alpha_arcs",
+        "alpha_coeff",
+        "alpha_src",
+        "vertex_labels",
+        "_alpha",
+        "_canceled",
+        "_checkpoint_alpha",
+        "_checkpoint_cap",
+        "_min_coeff",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        source: int,
+        sink: int,
+        head: list[int],
+        base_cap: list[float],
+        alpha_arcs: list[int],
+        alpha_coeff: list[float],
+        vertex_labels: Sequence,
+        alpha_src: Optional[list[int]] = None,
+    ):
+        self.num_nodes = num_nodes
+        self.source = source
+        self.sink = sink
+        self.head = head
+        self.base_cap = base_cap
+        self.alpha_arcs = alpha_arcs
+        self.alpha_coeff = alpha_coeff
+        # alpha_src[i]: arc id of the paired (finite) s -> v arc of the
+        # vertex whose sink arc is alpha_arcs[i], or -1 when unknown --
+        # enables the pass-through cancellation on cold solves.
+        self.alpha_src = alpha_src if alpha_src is not None else [-1] * len(alpha_arcs)
+        self.vertex_labels = list(vertex_labels)
+        self.adj_start, self.adj_arcs = build_csr(head, num_nodes)
+        self.cap = list(base_cap)
+        self._alpha: Optional[float] = None
+        self._canceled = False
+        self._checkpoint_alpha: Optional[float] = None
+        self._checkpoint_cap: Optional[list[float]] = None
+        self._min_coeff = min(alpha_coeff, default=0.0)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of forward arcs (reverse arcs not counted)."""
+        return len(self.head) // 2
+
+    def flow_arrays(self) -> tuple[int, int, list[int], list[float], list[int], list[int]]:
+        """``(source, sink, head, cap, adj_start, adj_arcs)`` for the solvers."""
+        return self.source, self.sink, self.head, self.cap, self.adj_start, self.adj_arcs
+
+    # --- α management -------------------------------------------------
+
+    def set_alpha(self, alpha: float) -> None:
+        """Cold reset: capacities for ``alpha``, zero flow (O(E), in place).
+
+        Where the paired source arc is known, the pass-through volume
+        ``c_v = min(cap(s→v), cap(v→t))`` is cancelled from both arcs:
+        every s-t cut contains exactly one of the two, so all cut values
+        shift by the constant ``Σ c_v`` and the min-cut *sets* are
+        untouched, while the max-flow volume (the augmenting-path count
+        of the saturating probe solves) collapses from ``Σ deg`` to
+        ``Σ (deg − coeff·α)⁺``.  :meth:`_uncancel` converts the residual
+        state back to the plain network before any warm start.
+        """
+        self.cap = list(self.base_cap)
+        cap, base = self.cap, self.base_cap
+        for a, c, s in zip(self.alpha_arcs, self.alpha_coeff, self.alpha_src):
+            t = base[a] + c * alpha
+            if s >= 0:
+                cv = t if t < base[s] else base[s]
+                cap[a] = t - cv
+                cap[s] = base[s] - cv
+            else:
+                cap[a] = t
+        self._alpha = alpha
+        self._canceled = True
+
+    def _uncancel(self) -> None:
+        """Convert a cancelled residual state to the plain network's.
+
+        Adding the pass-through ``c_v`` back as flow on both arcs keeps
+        conservation (in and out of ``v`` grow by ``c_v``) and respects
+        the plain capacities, so only the two reverse-arc residuals
+        change; forward residuals are already identical.  The result is
+        a maximum flow of the plain network at the current α, fit to
+        warm-start from.
+        """
+        cap, base = self.cap, self.base_cap
+        alpha = self._alpha
+        for a, c, s in zip(self.alpha_arcs, self.alpha_coeff, self.alpha_src):
+            if s >= 0:
+                t = base[a] + c * alpha
+                cv = t if t < base[s] else base[s]
+                if cv > 0.0:
+                    cap[a ^ 1] += cv
+                    cap[s ^ 1] += cv
+        self._canceled = False
+
+    def _advance_alpha(self, alpha: float) -> None:
+        """Raise α keeping the current flow (requires ``alpha >= self._alpha``).
+
+        Each α-arc's residual is recomputed exactly as capacity minus the
+        flow it carries (read off the reverse arc), so a warm chain
+        reproduces the same floats as a single jump from the base state.
+        """
+        cap, base = self.cap, self.base_cap
+        for a, c in zip(self.alpha_arcs, self.alpha_coeff):
+            flow = cap[a ^ 1] - base[a ^ 1]
+            cap[a] = base[a] + c * alpha - flow
+        self._alpha = alpha
+
+    def _warm_step_ok(self, delta: float) -> bool:
+        """Whether a warm start is safe for an α step of ``delta``.
+
+        The solvers treat residuals below :data:`~repro.flow.network.EPS`
+        as saturated, so a step that opens each sink arc by less than a
+        comfortable multiple of EPS could leave true augmenting paths
+        invisible and flip the feasibility verdict; such steps take the
+        cold reset instead.  Binary searches stop at a resolution of
+        ``1/(n(n-1))``, far above this threshold at any tractable scale.
+        """
+        return delta * self._min_coeff > 10.0 * EPS
+
+    def checkpoint(self) -> None:
+        """Record the current residual state as a warm-start base.
+
+        Call after a solve whose α became the binary search's new lower
+        bound: every later guess is ≥ that α, so every later solve can
+        restore this max flow instead of starting from zero.
+        """
+        if self._canceled:  # normalise direct set_alpha/max_flow usage
+            self._uncancel()
+        self._checkpoint_alpha = self._alpha
+        self._checkpoint_cap = list(self.cap)
+
+    def solve(self, alpha: float, solver=None) -> set:
+        """Max-flow at ``alpha``; return the source-side cut vertex set.
+
+        Picks the cheapest valid warm-start (advance > checkpoint >
+        cold reset), runs the solver (Dinic by default), and returns the
+        graph vertices on the source side of the minimal min cut
+        (excluding source/instance nodes) -- non-empty iff a subgraph
+        with Ψ-density above ``alpha`` exists (Lemma 14).
+        """
+        if self._alpha is not None and alpha == self._alpha:
+            pass  # residual state is already a max flow at this α
+        elif (
+            self._alpha is not None
+            and alpha >= self._alpha
+            and self._warm_step_ok(alpha - self._alpha)
+        ):
+            self._advance_alpha(alpha)
+        elif (
+            self._checkpoint_cap is not None
+            and self._checkpoint_alpha is not None
+            and alpha >= self._checkpoint_alpha
+            and self._warm_step_ok(alpha - self._checkpoint_alpha)
+        ):
+            self.cap = list(self._checkpoint_cap)
+            self._alpha = self._checkpoint_alpha
+            self._advance_alpha(alpha)
+        else:
+            self.set_alpha(alpha)
+        if solver is None:
+            from . import dinic as solver  # late import avoids a cycle
+        solver.max_flow(self)
+        if self._canceled:
+            self._uncancel()
+        return self.cut_vertices()
+
+    # --- cut extraction ----------------------------------------------
+
+    def min_cut_source_side(self) -> set[int]:
+        """Source side of the min cut, as internal node ids."""
+        seen = source_reachable(self.head, self.cap, self.adj_start, self.adj_arcs, self.source)
+        return {i for i in range(self.num_nodes) if seen[i]}
+
+    def cut_vertices(self) -> set:
+        """Graph vertices (external labels) on the source side of the cut."""
+        labels = self.vertex_labels
+        seen = source_reachable(self.head, self.cap, self.adj_start, self.adj_arcs, self.source)
+        return {labels[i] for i in range(len(labels)) if seen[i]}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ParametricNetwork(nodes={self.num_nodes}, arcs={self.num_arcs}, "
+            f"alpha={self._alpha})"
+        )

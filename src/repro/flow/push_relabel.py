@@ -4,7 +4,8 @@ A second, independently implemented solver.  It exists for two reasons:
 differential testing of :mod:`repro.flow.dinic` (both must agree on the
 flow value and cut capacity on every network), and the solver ablation
 bench -- the paper notes any exact max-flow algorithm slots into the
-framework.
+framework.  Like Dinic it runs on the flat arc arrays exposed by
+``network.flow_arrays()``.
 """
 
 from __future__ import annotations
@@ -12,26 +13,26 @@ from __future__ import annotations
 import math
 from collections import deque
 
-from .network import EPS, FlowNetwork
+from .network import EPS
 
 
-def max_flow(network: FlowNetwork) -> float:
+def max_flow(network) -> float:
     """Run FIFO push–relabel on ``network`` in place; return the value.
 
     Infinite capacities are clamped to a finite "big-M" above the total
     finite capacity leaving the source, which cannot change the min cut.
     """
-    source = network.node_id(network.source)
-    sink = network.node_id(network.sink)
-    head, cap, adj = network.head, network.cap, network.adj
-    n = network.num_nodes
+    source, sink, head, cap, adj_start, adj_arcs = network.flow_arrays()
+    n = len(adj_start) - 1
 
-    # Clamp infinities: anything above the total finite source capacity
-    # can never saturate.
-    finite_out = sum(
-        cap[arc] for arc in adj[source] if not math.isinf(cap[arc])
-    )
-    big = max(finite_out * 2.0, 1.0)
+    # Clamp infinities: any flow this run pushes is bounded by the total
+    # finite capacity in the network (every augmenting path crosses at
+    # least one finite arc), so arcs clamped above that can never
+    # saturate.  Summing over *all* arcs -- not just the source's --
+    # keeps the bound valid on warm-started / cancelled parametric
+    # networks whose residual source capacities may already be zero.
+    finite_total = sum(c for c in cap if not math.isinf(c))
+    big = finite_total * 2.0 + 1.0
     for i, c in enumerate(cap):
         if math.isinf(c):
             cap[i] = big
@@ -44,7 +45,8 @@ def max_flow(network: FlowNetwork) -> float:
     in_queue = [False] * n
 
     # Saturate all source arcs.
-    for arc in adj[source]:
+    for idx in range(adj_start[source], adj_start[source + 1]):
+        arc = adj_arcs[idx]
         flow = cap[arc]
         if flow > EPS:
             v = head[arc]
@@ -55,15 +57,17 @@ def max_flow(network: FlowNetwork) -> float:
                 active.append(v)
                 in_queue[v] = True
 
-    cursor = [0] * n
+    cursor = adj_start[:n]  # per-node cursor into adj_arcs
     while active:
         u = active.popleft()
         in_queue[u] = False
+        end = adj_start[u + 1]
         while excess[u] > EPS:
-            if cursor[u] == len(adj[u]):
+            if cursor[u] == end:
                 # relabel: one above the lowest admissible neighbour
                 min_height = None
-                for arc in adj[u]:
+                for idx in range(adj_start[u], end):
+                    arc = adj_arcs[idx]
                     if cap[arc] > EPS:
                         h = height[head[arc]]
                         if min_height is None or h < min_height:
@@ -71,9 +75,9 @@ def max_flow(network: FlowNetwork) -> float:
                 if min_height is None:
                     break  # isolated excess; cannot happen on sane networks
                 height[u] = min_height + 1
-                cursor[u] = 0
+                cursor[u] = adj_start[u]
                 continue
-            arc = adj[u][cursor[u]]
+            arc = adj_arcs[cursor[u]]
             v = head[arc]
             if cap[arc] > EPS and height[u] == height[v] + 1:
                 delta = min(excess[u], cap[arc])
@@ -89,7 +93,7 @@ def max_flow(network: FlowNetwork) -> float:
     return excess[sink]
 
 
-def min_cut(network: FlowNetwork) -> tuple[float, set]:
+def min_cut(network) -> tuple[float, set]:
     """Max-flow value and the source-side node set of a minimum s-t cut."""
     value = max_flow(network)
     return value, network.min_cut_source_side()

@@ -46,18 +46,22 @@ class CSRGraph:
         self.vertices: list[Vertex] = sorted(graph.vertices(), key=str)
         self._index_of = {v: i for i, v in enumerate(self.vertices)}
         n = len(self.vertices)
-        degrees = np.zeros(n + 1, dtype=np.int64)
-        for v in self.vertices:
-            degrees[self._index_of[v] + 1] = graph.degree(v)
-        self.indptr = np.cumsum(degrees)
-        self.indices = np.empty(int(self.indptr[-1]), dtype=np.int64)
-        cursor = self.indptr[:-1].copy()
-        for v in self.vertices:
-            i = self._index_of[v]
-            nbrs = sorted(self._index_of[u] for u in graph.neighbors(v))
-            span = len(nbrs)
-            self.indices[cursor[i] : cursor[i] + span] = nbrs
-            cursor[i] += span
+        index = self._index_of
+        # One pass over the edge list to integer pairs, then vectorised
+        # symmetrisation + lexsort; no per-vertex Python loop.
+        pairs = [(index[u], index[v]) for u, v in graph.edges()]
+        if pairs:
+            edges = np.asarray(pairs, dtype=np.int64)
+            src = np.concatenate([edges[:, 0], edges[:, 1]])
+            dst = np.concatenate([edges[:, 1], edges[:, 0]])
+            order = np.lexsort((dst, src))
+            self.indices = dst[order]
+            counts = np.bincount(src, minlength=n)
+        else:
+            self.indices = np.empty(0, dtype=np.int64)
+            counts = np.zeros(n, dtype=np.int64)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
 
     @property
     def num_vertices(self) -> int:

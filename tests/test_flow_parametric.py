@@ -1,0 +1,214 @@
+"""Tests for the array-backed flow engine and α-parametric reuse.
+
+Three layers of guarantees:
+
+* the two max-flow solvers agree on the value *and* on the source-side
+  cut (the residual-reachability cut after any max flow is the unique
+  minimal min cut, so exact solvers must return the same set);
+* a :class:`~repro.flow.parametric.ParametricNetwork` re-solved across a
+  binary search (warm starts, checkpoints, cancellation) returns the
+  same cuts as a freshly built legacy network at every α;
+* the exact algorithms give bit-identical results under
+  ``flow_engine="reuse"`` and ``flow_engine="rebuild"``.
+"""
+
+import pytest
+
+from repro.api import densest_subgraph
+from repro.core.core_exact import core_exact_densest
+from repro.core.exact import exact_densest
+from repro.core.pds import core_p_exact_densest, p_exact_densest
+from repro.core.query_variant import query_densest
+from repro.extensions.topk import top_k_densest
+from repro.flow import dinic, push_relabel
+from repro.flow.builders import (
+    build_cds_network,
+    build_cds_parametric,
+    build_eds_network,
+    build_eds_parametric,
+    build_pds_network_grouped,
+    build_pds_parametric,
+    vertices_of_cut,
+)
+from repro.patterns.pattern import get_pattern
+
+from .conftest import random_graph
+from .test_flow import random_network
+
+
+class TestSolverEquivalence:
+    """Dinic and push–relabel must agree everywhere (50 random networks)."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_same_value_and_same_source_side_cut(self, seed):
+        a = random_network(seed, n=12 + seed % 7, arcs=30 + seed)
+        b = random_network(seed, n=12 + seed % 7, arcs=30 + seed)
+        value_a = dinic.max_flow(a)
+        value_b = push_relabel.max_flow(b)
+        assert value_a == pytest.approx(value_b, abs=1e-6)
+        assert a.min_cut_source_side() == b.min_cut_source_side()
+
+
+def _binary_search_cuts(graph, make_parametric, make_legacy, high):
+    """Drive a binary search on both engines; assert cuts agree at every α."""
+    net = make_parametric()
+    low = 0.0
+    cut = net.solve(low)
+    legacy = make_legacy(low)
+    dinic.max_flow(legacy)
+    assert cut == vertices_of_cut(legacy.min_cut_source_side())
+    if cut:
+        net.checkpoint()
+    for _ in range(25):
+        alpha = (low + high) / 2.0
+        cut = net.solve(alpha)
+        legacy = make_legacy(alpha)
+        dinic.max_flow(legacy)
+        assert cut == vertices_of_cut(legacy.min_cut_source_side())
+        if cut:
+            low = alpha
+            net.checkpoint()
+        else:
+            high = alpha
+
+
+class TestParametricMatchesFreshBuild:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_eds(self, seed):
+        g = random_graph(24, 70, seed)
+        _binary_search_cuts(
+            g,
+            lambda: build_eds_parametric(g),
+            lambda a: build_eds_network(g, a),
+            float(g.max_degree()),
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cds_h3(self, seed):
+        g = random_graph(20, 60, seed + 100)
+        _binary_search_cuts(
+            g,
+            lambda: build_cds_parametric(g, 3),
+            lambda a: build_cds_network(g, 3, a),
+            12.0,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pds_grouped(self, seed):
+        from repro.cliques.enumeration import enumerate_cliques
+
+        g = random_graph(20, 60, seed + 200)
+        instances = [frozenset(c) for c in enumerate_cliques(g, 3)]
+        if not instances:
+            pytest.skip("no triangle instances in this seed")
+        _binary_search_cuts(
+            g,
+            lambda: build_pds_parametric(g, 3, instances, grouped=True),
+            lambda a: build_pds_network_grouped(g, 3, a, instances),
+            float(g.max_degree()),
+        )
+
+    def test_set_alpha_rewrites_only_alpha_arcs(self):
+        g = random_graph(12, 30, 3)
+        net = build_eds_parametric(g)
+        m = float(g.num_edges)
+        net.set_alpha(2.0)
+        net._uncancel()  # back to plain capacities + pass-through flow
+        for arc_id, coeff, label_id in zip(
+            net.alpha_arcs, net.alpha_coeff, range(len(net.vertex_labels))
+        ):
+            v = net.vertex_labels[label_id]
+            expected = m + coeff * 2.0 - g.degree(v)
+            # residual + flow (reverse residual) reconstructs the capacity
+            assert net.cap[arc_id] + net.cap[arc_id ^ 1] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_push_relabel_solver_on_cancelled_anchored_network(self, seed):
+        # regression: the big-M clamp must be computed from the whole
+        # network's finite capacity, not the (possibly cancelled-to-zero)
+        # residual source arcs, or infinite anchor arcs saturate
+        g = random_graph(18, 50, seed + 500)
+        anchor = next(iter(g.vertices()))
+        for alpha in (0.5, 2.0, 5.0):
+            net = build_eds_parametric(g, anchors=[anchor])
+            cut = net.solve(alpha, solver=push_relabel)
+            legacy = build_eds_network(g, alpha)
+            from repro.flow.builders import SOURCE
+
+            legacy.add_arc(SOURCE, ("v", anchor), float("inf"))
+            dinic.max_flow(legacy)
+            assert cut == vertices_of_cut(legacy.min_cut_source_side())
+            assert anchor in cut
+
+    def test_tiny_alpha_step_falls_back_to_cold_reset(self):
+        g = random_graph(12, 30, 4)
+        net = build_eds_parametric(g)
+        net.solve(1.0)
+        assert not net._warm_step_ok(1e-12)
+        assert net._warm_step_ok(1e-3)
+
+
+class TestFlowEngineBitIdentical:
+    """α-reuse must not change any flow-dependent result."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_core_exact(self, seed, h):
+        g = random_graph(26, 80, seed)
+        rebuilt = core_exact_densest(g, h, flow_engine="rebuild")
+        reused = core_exact_densest(g, h, flow_engine="reuse")
+        assert reused.vertices == rebuilt.vertices
+        assert reused.density == rebuilt.density
+        assert reused.iterations == rebuilt.iterations
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact(self, seed):
+        g = random_graph(20, 55, seed + 50)
+        rebuilt = exact_densest(g, 2, flow_engine="rebuild")
+        reused = exact_densest(g, 2, flow_engine="reuse")
+        assert reused.vertices == rebuilt.vertices
+        assert reused.density == rebuilt.density
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pds_exact(self, seed):
+        g = random_graph(16, 40, seed + 300)
+        pattern = get_pattern("triangle")
+        rebuilt = p_exact_densest(g, pattern, flow_engine="rebuild")
+        reused = p_exact_densest(g, pattern, flow_engine="reuse")
+        assert reused.vertices == rebuilt.vertices
+        assert reused.density == rebuilt.density
+        core_rebuilt = core_p_exact_densest(g, pattern, flow_engine="rebuild")
+        core_reused = core_p_exact_densest(g, pattern, flow_engine="reuse")
+        assert core_reused.vertices == core_rebuilt.vertices
+        assert core_reused.density == core_rebuilt.density
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_query_variant(self, seed):
+        g = random_graph(22, 60, seed + 400)
+        anchors = [next(iter(g.vertices()))]
+        rebuilt = query_densest(g, anchors, flow_engine="rebuild")
+        reused = query_densest(g, anchors, flow_engine="reuse")
+        assert reused.vertices == rebuilt.vertices
+        assert reused.density == rebuilt.density
+
+
+class TestEngineKnob:
+    def test_api_accepts_flow_engine(self):
+        g = random_graph(15, 35, 9)
+        result = densest_subgraph(g, 2, method="core-exact", flow_engine="rebuild")
+        assert result.stats["flow_engine"] == "rebuild"
+        result = densest_subgraph(g, 2, method="core-exact")
+        assert result.stats["flow_engine"] == "reuse"
+
+    def test_unknown_engine_rejected(self):
+        g = random_graph(10, 20, 1)
+        with pytest.raises(ValueError):
+            core_exact_densest(g, 2, flow_engine="bogus")
+        with pytest.raises(ValueError):
+            exact_densest(g, 2, flow_engine="bogus")
+
+    def test_topk_threads_flow_engine(self):
+        g = random_graph(18, 45, 5)
+        results = top_k_densest(g, 2, method=core_exact_densest, flow_engine="reuse")
+        assert results
+        assert all(r.stats["flow_engine"] == "reuse" for r in results)
