@@ -1,23 +1,22 @@
-"""Ablation: fresh-build vs α-reuse flow engine in the exact algorithms.
+"""Ablation: fresh-build vs α-reuse vs GGT flow engine in the exact algorithms.
 
-The PR that introduced the array-backed :class:`ParametricNetwork`
-claims the binary searches of Exact / CoreExact need not rebuild their
-flow networks per iteration.  This bench quantifies that claim on the
-Figure-8 small-dataset suite and writes a machine-readable JSON
-(``benchmarks/out/flow_reuse_ablation.json``, committed as evidence) so
-the perf trajectory is tracked across PRs.
+PR 2 introduced the array-backed :class:`ParametricNetwork` (engine
+``"reuse"``); this PR adds the GGT breakpoint walk (engine ``"ggt"``)
+that replaces the binary search outright.  The bench quantifies all
+three on the Figure-8 small-dataset suite and writes a machine-readable
+JSON (``benchmarks/out/flow_reuse_ablation.json``, committed as
+evidence) so the perf trajectory is tracked across PRs.
 
 ``flow_engine="rebuild"`` is the pre-parametric engine (a fresh
-``FlowNetwork`` per iteration); ``"reuse"`` is the arc-array network
-with in-place ``set_alpha``, warm-started flows, and pass-through
-cancellation on cold solves.  Every cell also asserts the two engines
-return identical vertex sets and densities -- the ablation is only
-meaningful if results are unchanged.
-
-CoreExact's prunings often leave a single feasibility probe (one flow
-solve), where reuse can only win by cancellation; Exact always runs the
-full binary search, where reuse is worth an integer factor.  Both
-aggregates are recorded.
+``FlowNetwork`` per binary-search iteration); ``"reuse"`` is the
+arc-array network with in-place ``set_alpha``, warm-started flows, and
+pass-through cancellation on cold solves; ``"ggt"`` walks the min-cut
+breakpoints of the same network (discrete Newton on the parametric
+min-cut function), collapsing the ``O(log n²)``-iteration binary search
+to a handful of warm max-flow solves per component.  Every cell asserts
+all three engines return identical vertex sets and densities -- the
+ablation is only meaningful if results are unchanged -- and records the
+per-engine max-flow solve counts, the headline of the GGT scheme.
 """
 
 import json
@@ -30,6 +29,8 @@ from repro.experiments.harness import timed
 
 OUT_DIR = Path(__file__).parent / "out"
 
+ENGINES = ("rebuild", "reuse", "ggt")
+
 
 def _cells(bench_scale):
     rows = []
@@ -40,20 +41,43 @@ def _cells(bench_scale):
             ("Exact", exact_densest, (2, 3)),
         ):
             for h in h_values:
-                rebuilt, rebuild_s = timed(fn, graph, h, flow_engine="rebuild")
-                reused, reuse_s = timed(fn, graph, h, flow_engine="reuse")
-                assert reused.vertices == rebuilt.vertices, (name, algorithm, h)
-                assert reused.density == rebuilt.density, (name, algorithm, h)
+                results = {}
+                seconds = {}
+                for engine in ENGINES:
+                    results[engine], seconds[engine] = timed(
+                        fn, graph, h, flow_engine=engine
+                    )
+                baseline = results["rebuild"]
+                for engine in ("reuse", "ggt"):
+                    assert results[engine].vertices == baseline.vertices, (
+                        name, algorithm, h, engine,
+                    )
+                    assert results[engine].density == baseline.density, (
+                        name, algorithm, h, engine,
+                    )
                 rows.append(
                     {
                         "dataset": name,
                         "algorithm": algorithm,
                         "h": h,
-                        "rebuild_s": rebuild_s,
-                        "reuse_s": reuse_s,
-                        "speedup": rebuild_s / reuse_s if reuse_s > 0 else float("inf"),
-                        "iterations": reused.iterations,
-                        "density": reused.density,
+                        "rebuild_s": seconds["rebuild"],
+                        "reuse_s": seconds["reuse"],
+                        "ggt_s": seconds["ggt"],
+                        "speedup_reuse": (
+                            seconds["rebuild"] / seconds["reuse"]
+                            if seconds["reuse"] > 0
+                            else float("inf")
+                        ),
+                        "speedup_ggt": (
+                            seconds["rebuild"] / seconds["ggt"]
+                            if seconds["ggt"] > 0
+                            else float("inf")
+                        ),
+                        # max-flow solve counts: the binary search runs one
+                        # per iteration, the GGT walk one per breakpoint hop
+                        "solves_binary": results["reuse"].iterations,
+                        "solves_ggt": results["ggt"].iterations,
+                        "density": baseline.density,
                     }
                 )
     return rows
@@ -67,18 +91,27 @@ def test_flow_reuse_ablation(benchmark, emit, bench_scale):
         sub = [r for r in rows if r["algorithm"] == algorithm]
         rebuild = sum(r["rebuild_s"] for r in sub)
         reuse = sum(r["reuse_s"] for r in sub)
+        ggt = sum(r["ggt_s"] for r in sub)
         aggregates[algorithm] = {
             "rebuild_s": rebuild,
             "reuse_s": reuse,
-            "speedup": rebuild / reuse if reuse > 0 else float("inf"),
+            "ggt_s": ggt,
+            "speedup_reuse": rebuild / reuse if reuse > 0 else float("inf"),
+            "speedup_ggt": rebuild / ggt if ggt > 0 else float("inf"),
+            "solves_binary": sum(r["solves_binary"] for r in sub),
+            "solves_ggt": sum(r["solves_ggt"] for r in sub),
         }
 
     emit(
         "ablation_flow_reuse",
         rows,
-        "Flow-engine ablation -- fresh-build vs α-parametric reuse "
-        f"(aggregate speedup: Exact {aggregates['Exact']['speedup']:.2f}x, "
-        f"CoreExact {aggregates['CoreExact']['speedup']:.2f}x)",
+        "Flow-engine ablation -- fresh-build vs α-parametric reuse vs GGT "
+        f"(aggregate speedup: Exact {aggregates['Exact']['speedup_reuse']:.2f}x reuse / "
+        f"{aggregates['Exact']['speedup_ggt']:.2f}x ggt, "
+        f"CoreExact {aggregates['CoreExact']['speedup_reuse']:.2f}x reuse / "
+        f"{aggregates['CoreExact']['speedup_ggt']:.2f}x ggt; "
+        f"Exact solves {aggregates['Exact']['solves_binary']} binary -> "
+        f"{aggregates['Exact']['solves_ggt']} ggt)",
     )
     OUT_DIR.mkdir(exist_ok=True)
     payload = {
@@ -91,10 +124,17 @@ def test_flow_reuse_ablation(benchmark, emit, bench_scale):
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 
-    # the engine's headline: where the binary search actually runs
-    # (Exact always does), α-reuse is worth an integer factor
-    assert aggregates["Exact"]["speedup"] >= 2.0
+    # the engines' headlines: where the binary search actually runs
+    # (Exact always does), α-reuse is worth an integer factor, and the
+    # GGT walk needs a small fraction of the binary search's solves
+    assert aggregates["Exact"]["speedup_reuse"] >= 2.0
+    assert aggregates["Exact"]["solves_ggt"] * 2 < aggregates["Exact"]["solves_binary"]
+    for row in rows:
+        if row["algorithm"] == "Exact":
+            # one parametric sweep: a handful of solves per instance,
+            # never the O(log n²) ladder of the binary search
+            assert row["solves_ggt"] < row["solves_binary"]
 
     graph = load("Yeast", bench_scale)
-    result = benchmark(core_exact_densest, graph, 2, flow_engine="reuse")
+    result = benchmark(core_exact_densest, graph, 2, flow_engine="ggt")
     assert result.density > 0.0

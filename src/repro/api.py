@@ -72,11 +72,15 @@ def densest_subgraph(
         One of ``auto``, ``exact``, ``core-exact``, ``peel``,
         ``inc-app``, ``core-app``.
     flow_engine:
-        How the exact methods run their max-flow binary search:
-        ``"reuse"`` (default) builds one α-parametric arc-array network
-        and rewrites only the sink capacities per iteration;
-        ``"rebuild"`` reconstructs the network every iteration.  The
-        peeling-based approximations take no flow engine.
+        How the exact methods drive their max-flow solves.  ``"ggt"``
+        walks the min-cut breakpoints of one α-parametric arc-array
+        network (Gallo–Grigoriadis–Tarjan style; no binary search, a
+        handful of warm solves); ``"reuse"`` (default) runs the binary
+        search but re-solves one α-parametric network, rewriting only
+        the sink capacities per iteration; ``"rebuild"`` reconstructs
+        the network every iteration.  All three return bit-identical
+        vertex sets and densities; the peeling-based approximations
+        take no flow engine.
 
     Examples
     --------

@@ -87,6 +87,11 @@ class _ComponentState:
             self.network_nodes = network.num_nodes
             dinic.max_flow(network)
             return vertices_of_cut(network.min_cut_source_side())
+        net = self._parametric()
+        self.network_nodes = net.num_nodes
+        return net.solve(alpha)
+
+    def _parametric(self):
         if self._net is None:
             if self.h == 2:
                 self._net = build_eds_parametric(self.graph)
@@ -98,8 +103,19 @@ class _ComponentState:
                     sub_cliques=self.sub_cliques,
                     degrees=self.degrees,
                 )
-        self.network_nodes = self._net.num_nodes
-        return self._net.solve(alpha)
+        return self._net
+
+    def density_of(self, vertices: set[Vertex]) -> float:
+        """Exact Ψ-density of a subset of this component's vertices."""
+        if self.h == 2:
+            return self.graph.subgraph(vertices).num_edges / len(vertices)
+        return sum(1 for inst in self.h_cliques if vertices.issuperset(inst)) / len(vertices)
+
+    def solve_max_density(self, low: float):
+        """GGT breakpoint walk from lower bound ``low``: (cut, ρ, solves)."""
+        net = self._parametric()
+        self.network_nodes = net.num_nodes
+        return net.max_density(self.density_of, low=low)
 
     def checkpoint(self) -> None:
         """Record the current flow as the warm-start base (new lower bound)."""
@@ -148,11 +164,14 @@ def core_exact_densest(
         Optionally a precomputed Algorithm-3 result, to amortise the
         decomposition across calls.
     flow_engine:
-        ``"reuse"`` (default) builds one α-parametric network per
-        component (rebuilt on core shrinks) and re-solves it across the
-        binary search with warm-started flows; ``"rebuild"``
+        ``"ggt"`` walks the min-cut breakpoints of one α-parametric
+        network per component (no binary search; a handful of warm
+        solves); ``"reuse"`` (default) builds one α-parametric network
+        per component (rebuilt on core shrinks) and re-solves it across
+        the binary search with warm-started flows; ``"rebuild"``
         reconstructs the network every iteration (the pre-parametric
-        behaviour, kept for the flow-reuse ablation bench).
+        behaviour; both kept for the flow-engine ablation bench).  All
+        three return bit-identical vertex sets and densities.
 
     Returns
     -------
@@ -249,6 +268,23 @@ def core_exact_densest(
             if len(keep) < state.num_vertices:
                 state = _ComponentState(state.graph.subgraph(keep), h, flow_engine)
         if state.num_vertices == 0:
+            continue
+
+        if flow_engine == "ggt":
+            # One parametric sweep replaces probe + binary search: the
+            # Newton walk starts at the global lower bound l (solving at
+            # l IS the feasibility probe) and ends at the component's
+            # exact optimal density, raising l for later components.
+            cut, rho, solves = state.solve_max_density(low)
+            iterations += solves
+            network_sizes.extend([state.network_nodes] * solves)
+            if not cut:
+                continue
+            density_cache.setdefault(frozenset(cut), rho)
+            if rho > low:
+                low = rho
+            if candidate is None or cached_density(cut) > cached_density(candidate):
+                candidate = cut
             continue
 
         # lines 7-9: feasibility probe at α = l.

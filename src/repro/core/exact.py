@@ -25,11 +25,14 @@ from ..flow.builders import (
 from ..graph.graph import Graph, Vertex
 
 #: Valid values for the ``flow_engine`` knob of the exact algorithms:
-#: ``"reuse"`` builds one α-parametric arc-array network per (sub)graph
-#: and rewrites only the sink capacities across the binary search;
+#: ``"ggt"`` walks the min-cut breakpoints of one α-parametric network
+#: (discrete Newton; no binary search, a handful of warm solves);
+#: ``"reuse"`` runs the classical binary search but re-solves one
+#: α-parametric network, rewriting only the sink capacities;
 #: ``"rebuild"`` reconstructs a fresh network every iteration (the
-#: pre-parametric behaviour, kept for the ablation bench).
-FLOW_ENGINES = ("reuse", "rebuild")
+#: pre-parametric behaviour; both non-GGT engines are kept for the
+#: three-way ablation bench).
+FLOW_ENGINES = ("ggt", "reuse", "rebuild")
 
 
 def check_flow_engine(flow_engine: str) -> None:
@@ -90,9 +93,12 @@ def exact_densest(
     h:
         Clique size of Ψ (h = 2 gives the classical EDS).
     flow_engine:
+        ``"ggt"`` replaces the binary search with a breakpoint walk on
+        one α-parametric network (a handful of warm max-flow solves);
         ``"reuse"`` (default) solves every binary-search iteration on
         one α-parametric network; ``"rebuild"`` reconstructs the network
         per iteration (pre-parametric behaviour, for the ablation).
+        All three return bit-identical vertex sets and densities.
 
     Returns
     -------
@@ -121,13 +127,32 @@ def exact_densest(
     sub_cliques = list(enumerate_cliques(graph, h - 1)) if h >= 3 else None
 
     net = None
-    if flow_engine == "reuse":
+    if flow_engine in ("reuse", "ggt"):
         if h == 2:
             net = build_eds_parametric(graph)
         else:
             net = build_cds_parametric(
                 graph, h, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
             )
+
+    if flow_engine == "ggt":
+        if h == 2:
+            density_of = lambda s: graph.subgraph(s).num_edges / len(s)
+        else:
+            density_of = lambda s: sum(1 for inst in h_cliques if s.issuperset(inst)) / len(s)
+        cut, rho, solves = net.max_density(density_of, low=0.0)
+        if cut:
+            best, density = cut, rho  # ρ is the exact count/size ratio
+        else:
+            best = set(graph.vertices())
+            density = _best_subgraph_density(graph, best, h)
+        return DensestSubgraphResult(
+            vertices=best,
+            density=density,
+            method="Exact",
+            iterations=solves,
+            stats={"network_sizes": [net.num_nodes] * solves},
+        )
 
     low, high = 0.0, float(upper)
     best: Optional[set[Vertex]] = None

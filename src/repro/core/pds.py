@@ -89,8 +89,24 @@ def p_exact_densest(
             degrees[v] += 1
 
     net = None
-    if flow_engine == "reuse":
+    if flow_engine in ("reuse", "ggt"):
         net = build_pds_parametric(graph, pattern.size, vertex_sets, degrees=degrees)
+
+    if flow_engine == "ggt":
+        density_of = lambda s: sum(1 for members in vertex_sets if members <= s) / len(s)
+        cut, rho, solves = net.max_density(density_of, low=0.0)
+        if cut:
+            best, density = cut, rho  # ρ is the exact count/size ratio
+        else:
+            best = set(graph.vertices())
+            density = _density_of(graph, best, pattern)
+        return DensestSubgraphResult(
+            vertices=best,
+            density=density,
+            method="PExact",
+            iterations=solves,
+            stats={"network_sizes": [net.num_nodes] * solves, "instances": len(instances)},
+        )
 
     low, high = 0.0, float(max(degrees.values()))
     resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
@@ -164,6 +180,11 @@ class _PatternComponentState:
             self.network_nodes = network.num_nodes
             dinic.max_flow(network)
             return vertices_of_cut(network.min_cut_source_side())
+        net = self._parametric()
+        self.network_nodes = net.num_nodes
+        return net.solve(alpha)
+
+    def _parametric(self):
         if self._net is None:
             self._net = build_pds_parametric(
                 self.graph,
@@ -172,8 +193,17 @@ class _PatternComponentState:
                 degrees=self.degrees,
                 grouped=True,
             )
-        self.network_nodes = self._net.num_nodes
-        return self._net.solve(alpha)
+        return self._net
+
+    def density_of(self, vertices: set[Vertex]) -> float:
+        """Exact pattern-density of a subset of this component's vertices."""
+        return sum(1 for members in self.vertex_sets if members <= vertices) / len(vertices)
+
+    def solve_max_density(self, low: float):
+        """GGT breakpoint walk from lower bound ``low``: (cut, ρ, solves)."""
+        net = self._parametric()
+        self.network_nodes = net.num_nodes
+        return net.max_density(self.density_of, low=low)
 
     def checkpoint(self) -> None:
         """Record the current flow as the warm-start base (new lower bound)."""
@@ -272,6 +302,22 @@ def core_p_exact_densest(
                     state.graph.subgraph(keep), pattern, vertex_sets, flow_engine
                 )
         if state.num_vertices == 0:
+            continue
+
+        if flow_engine == "ggt":
+            # One parametric sweep replaces probe + binary search (see
+            # core_exact_densest): solving at l is the feasibility probe
+            # and the walk ends at the component's exact optimum.
+            cut, rho, solves = state.solve_max_density(low)
+            iterations += solves
+            network_sizes.extend([state.network_nodes] * solves)
+            if not cut:
+                continue
+            density_cache.setdefault(frozenset(cut), rho)
+            if rho > low:
+                low = rho
+            if candidate is None or cached_density(cut) > cached_density(candidate):
+                candidate = cut
             continue
 
         probe = state.solve(low)

@@ -9,9 +9,63 @@ return the densest one.  Deterministic ``1/|V_Ψ|``-approximation
 
 from __future__ import annotations
 
+import heapq
+from typing import Iterator
+
 from ..cliques.enumeration import CliqueIndex
 from ..graph.graph import Graph, Vertex
 from .exact import DensestSubgraphResult
+
+
+def min_degree_peel(
+    graph: Graph, index: CliqueIndex
+) -> Iterator[tuple[Vertex, set[Vertex], int]]:
+    """Min-Ψ-degree peel as a generator over a lazy-deletion heap.
+
+    The shared peel loop behind :func:`peel_densest` and the
+    size-constrained variants
+    (:mod:`repro.extensions.size_constrained`): repeatedly remove the
+    vertex of minimum ``(Ψ-degree, graph-order rank)``, updating
+    degrees through the instance index.  The queue is a lazy-deletion
+    binary heap over ``(degree, rank)`` -- O(log n) per operation even
+    when every vertex shares one degree (a plain per-degree bucket
+    scan degenerates to O(n) per pop on regular graphs), and stale
+    entries are skipped on pop.  The rank tie-break makes the peel
+    order a pure function of the graph -- reproducible under
+    string-hash randomisation, and exactly replicable by a naive
+    min-scan with the same key (which is how the tests pin it).  Yields
+    ``(removed, alive, num_alive_instances)`` after each removal, down
+    to a single remaining vertex; ``alive`` is the live set mutated in
+    place -- copy it to keep a snapshot.  ``index`` is consumed.
+    """
+    degree = index.degrees()
+    order = list(graph.vertices())
+    rank = {v: i for i, v in enumerate(order)}
+    heap = [(degree[v], r) for r, v in enumerate(order)]
+    heapq.heapify(heap)
+
+    alive = set(order)
+    removed: set[Vertex] = set()
+    push = heapq.heappush
+    pop = heapq.heappop
+    for _ in range(graph.num_vertices - 1):
+        v = None
+        while heap:
+            d, r = pop(heap)
+            u = order[r]
+            if u not in removed and degree[u] == d:
+                v = u
+                break
+        if v is None:
+            break
+        removed.add(v)
+        alive.discard(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u not in removed:
+                    degree[u] -= 1
+                    push(heap, (degree[u], rank[u]))
+        yield v, alive, index.num_alive
 
 
 def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> DensestSubgraphResult:
@@ -38,42 +92,16 @@ def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> 
     if index is None:
         index = CliqueIndex(graph, h)
 
-    degree = index.degrees()
-    max_deg = max(degree.values(), default=0)
-    if max_deg == 0:
+    if max(index.degrees().values(), default=0) == 0:
         return DensestSubgraphResult(set(graph.vertices()), 0.0, "PeelApp")
 
-    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
-    for v, d in degree.items():
-        buckets[d].add(v)
-
-    alive = set(graph.vertices())
-    removed: set[Vertex] = set()
     best_density = index.num_alive / n
-    best_vertices = set(alive)
+    best_vertices = set(graph.vertices())
     iterations = 0
-    cursor = 0
 
-    for _ in range(n - 1):
+    for _, alive, num_alive in min_degree_peel(graph, index):
         iterations += 1
-        # The minimum clique-degree can drop arbitrarily when shared
-        # instances die, so rescan from zero (bucket sizes keep this
-        # cheap in practice; PeelApp is the baseline, not the headline).
-        cursor = 0
-        while cursor <= max_deg and not buckets[cursor]:
-            cursor += 1
-        if cursor > max_deg:
-            break
-        v = buckets[cursor].pop()
-        removed.add(v)
-        alive.discard(v)
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                if u not in removed:
-                    buckets[degree[u]].discard(u)
-                    degree[u] -= 1
-                    buckets[degree[u]].add(u)
-        density = index.num_alive / len(alive)
+        density = num_alive / len(alive)
         if density > best_density:
             best_density = density
             best_vertices = set(alive)

@@ -56,7 +56,10 @@ def query_densest(
     anchored core, with infinite source arcs pinning the query vertices
     to the source side of every cut.  With the default ``"reuse"``
     engine the anchored network is α-parametric and only rebuilt when
-    the anchored core shrinks.
+    the anchored core shrinks; ``flow_engine="ggt"`` replaces the
+    binary search with the discrete-Newton breakpoint walk (each α
+    guess is the exact density of the previous cut), identical results
+    in far fewer max-flow solves.
 
     Raises
     ------
@@ -91,6 +94,33 @@ def query_densest(
     resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
     iterations = 0
     net = None
+
+    if flow_engine == "ggt":
+        # Newton walk: the anchored min cut is never empty (anchors are
+        # pinned), so feasibility is the density test; each new α is the
+        # exact density of the cut just found, and the walk stops the
+        # first time the cut cannot beat its own α.
+        net = build_eds_parametric(domain, anchors=anchors)
+        alpha = low
+        best_density = graph.subgraph(best).edge_density()
+        while True:
+            cut = net.solve(alpha)
+            iterations += 1
+            sub = domain.subgraph(cut)
+            density = sub.edge_density() if sub.num_vertices else 0.0
+            if density <= alpha:
+                break
+            if density > best_density:
+                best = cut
+                best_density = density
+            alpha = density
+        return DensestSubgraphResult(
+            vertices=set(best),
+            density=best_density,
+            method="QueryDensest",
+            iterations=iterations,
+        )
+
     while high - low >= resolution:
         iterations += 1
         alpha = (low + high) / 2.0

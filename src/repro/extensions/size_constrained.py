@@ -16,14 +16,17 @@ from __future__ import annotations
 
 from ..cliques.enumeration import CliqueIndex
 from ..core.exact import DensestSubgraphResult
+from ..core.peel import min_degree_peel
 from ..graph.graph import Graph
 
 
 def densest_at_least(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
     """Greedy densest subgraph with at least ``k`` vertices.
 
-    Peels minimum-Ψ-degree vertices and returns the densest residual
-    graph that still has >= ``k`` vertices.
+    Peels minimum-Ψ-degree vertices (via the shared heap-based peel of
+    :func:`repro.core.peel.min_degree_peel`, O(log n) per operation
+    instead of an O(n) min-scan per step) and returns the densest
+    residual graph that still has >= ``k`` vertices.
 
     Raises
     ------
@@ -36,18 +39,12 @@ def densest_at_least(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
     if k < 1:
         raise ValueError("k must be positive")
     index = CliqueIndex(graph, h)
-    degree = index.degrees()
-    alive = set(graph.vertices())
     best_density = index.num_alive / n if n else 0.0
-    best_vertices = set(alive)
-    while len(alive) > k:
-        v = min(alive, key=lambda u: degree[u])
-        alive.discard(v)
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                if u in alive:
-                    degree[u] -= 1
-        density = index.num_alive / len(alive)
+    best_vertices = set(graph.vertices())
+    for _, alive, num_alive in min_degree_peel(graph, index):
+        if len(alive) < k:
+            break
+        density = num_alive / len(alive)
         if density > best_density:
             best_density = density
             best_vertices = set(alive)
@@ -61,29 +58,22 @@ def densest_at_least(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
 def densest_at_most(graph: Graph, k: int, h: int = 2) -> DensestSubgraphResult:
     """Greedy densest subgraph with at most ``k`` vertices (heuristic).
 
-    Peels minimum-Ψ-degree vertices until at most ``k`` remain, then
-    returns the densest residual graph seen at size <= ``k``.
+    Peels minimum-Ψ-degree vertices (same shared peel as
+    :func:`densest_at_least`) until at most ``k`` remain, then returns
+    the densest residual graph seen at size <= ``k``.
     """
     n = graph.num_vertices
     if k < 1:
         raise ValueError("k must be positive")
     index = CliqueIndex(graph, h)
-    degree = index.degrees()
-    alive = set(graph.vertices())
     best_density = -1.0
     best_vertices: set = set()
-    if len(alive) <= k and alive:
-        best_density = index.num_alive / len(alive)
-        best_vertices = set(alive)
-    while len(alive) > 1:
-        v = min(alive, key=lambda u: degree[u])
-        alive.discard(v)
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                if u in alive:
-                    degree[u] -= 1
+    if n <= k and n:
+        best_density = index.num_alive / n
+        best_vertices = set(graph.vertices())
+    for _, alive, num_alive in min_degree_peel(graph, index):
         if alive and len(alive) <= k:
-            density = index.num_alive / len(alive)
+            density = num_alive / len(alive)
             if density > best_density:
                 best_density = density
                 best_vertices = set(alive)

@@ -3,8 +3,13 @@
 The paper's related-work section cites Bahmani et al. (PVLDB'12): a
 ``1/(2+2ε)``-approximation for the EDS that needs only O(log n / ε)
 passes over the edge stream.  Each pass removes *every* vertex whose
-degree is at most ``(1+ε)`` times the current density -- a batch
-version of Charikar's peeling that suits streaming and MapReduce.
+degree is at most ``2(1+ε)`` times the current density ρ -- a batch
+version of Charikar's peeling that suits streaming and MapReduce.  The
+``2`` matters twice over: the average degree is exactly ``2ρ``, so each
+pass is guaranteed to doom at least the below-average vertices and the
+survivor count shrinks by a factor ``1+ε`` per pass (that is where the
+logarithmic pass bound comes from), and the set of vertices peeled
+*just before* the density collapses certifies the ``1/(2+2ε)`` ratio.
 
 Included as a labelled extension (the paper describes but does not
 evaluate it); it doubles as another independent lower bound the test
@@ -41,16 +46,15 @@ def streaming_densest(graph: Graph, epsilon: float = 0.1) -> DensestSubgraphResu
     best_density = work.edge_density()
     best_vertices = set(work.vertices())
     passes = 0
+    pass_sizes: list[int] = []
     while work.num_vertices > 0:
         passes += 1
         density = work.edge_density()
-        threshold = (1.0 + epsilon) * density
+        threshold = 2.0 * (1.0 + epsilon) * density
+        # Non-empty for every ε > 0: the average degree is 2·density,
+        # so at least the below-average vertices fall under 2(1+ε)·density.
         doomed = [v for v in work if work.degree(v) <= threshold]
-        if not doomed:
-            # cannot happen: the average degree is 2*density, so some
-            # vertex is always at or below (1+eps)*density for eps < 1;
-            # guard anyway for eps >= 1 pathologies
-            doomed = [min(work.vertices(), key=work.degree)]
+        pass_sizes.append(len(doomed))
         for v in doomed:
             work.remove_vertex(v)
         if work.num_vertices:
@@ -63,4 +67,5 @@ def streaming_densest(graph: Graph, epsilon: float = 0.1) -> DensestSubgraphResu
         density=best_density,
         method="Streaming",
         iterations=passes,
+        stats={"pass_sizes": pass_sizes},
     )

@@ -19,9 +19,30 @@ re-solve strategies, cheapest first:
   the best feasible lower bound (``checkpoint()``); any later guess of
   the binary search exceeds that bound, so the network restores the
   checkpointed max flow in one O(E) copy and advances from there.
+* **retreat** -- the requested α is below the α of the current residual
+  state.  Sink capacities shrink, so the flow on some ``v → t`` arcs may
+  exceed the new capacity; each such arc is clamped and the excess is
+  drained back to the source along flow-carrying residual paths (the
+  decreasing-α half of Gallo–Grigoriadis–Tarjan).  The result is a
+  feasible warm flow the solver only needs to augment.
 * **cold reset** -- otherwise, capacities are recomputed from
   ``base + coeff·α`` and the flow starts from zero (bit-equal to a
   fresh build at that α).
+
+On top of the warm-start repertoire sit two breakpoint drivers that
+remove the binary search from the exact algorithms entirely:
+
+* :meth:`ParametricNetwork.max_density` -- a discrete-Newton /
+  Dinkelbach walk over the breakpoints of the parametric min-cut
+  function.  Every iterate is the exact density of a cut it just
+  produced, so the walk lands on true breakpoints and terminates at the
+  optimal α with its minimal cut after a handful of solves (instead of
+  the ``O(log n²)`` iterations of the ``1/(n(n-1))``-resolution binary
+  search).
+* :meth:`ParametricNetwork.solve_breakpoints` -- the full GGT divide
+  and conquer: enumerate *all* breakpoints of the piecewise-linear
+  min-cut capacity on an interval by recursively probing cut-line
+  intersections, O(#breakpoints) max-flow solves in total.
 
 Monotonicity argument: for α' ≥ α every capacity satisfies
 ``cap(α') ≥ cap(α)``, so a feasible (in particular a maximum) flow for α
@@ -69,6 +90,7 @@ class ParametricNetwork:
         "_checkpoint_alpha",
         "_checkpoint_cap",
         "_min_coeff",
+        "_coeff_by_arc",
     )
 
     def __init__(
@@ -102,6 +124,7 @@ class ParametricNetwork:
         self._checkpoint_alpha: Optional[float] = None
         self._checkpoint_cap: Optional[list[float]] = None
         self._min_coeff = min(alpha_coeff, default=0.0)
+        self._coeff_by_arc: Optional[dict[int, float]] = None
 
     @property
     def num_arcs(self) -> int:
@@ -173,6 +196,82 @@ class ParametricNetwork:
             cap[a] = base[a] + c * alpha - flow
         self._alpha = alpha
 
+    def _retreat_alpha(self, alpha: float) -> None:
+        """Lower α keeping a feasible warm flow (requires ``alpha <= self._alpha``).
+
+        The decreasing-α half of GGT.  Each α-arc whose flow exceeds its
+        shrunken capacity is clamped to saturation; the difference
+        becomes an excess at the arc's tail vertex and is drained back to
+        the source through residual paths.  Flow decomposition
+        guarantees the drain succeeds: every unit that reached ``v``
+        came from the source, so the reverse arcs of its path carry
+        enough residual.  The state on exit is a *feasible* (not yet
+        maximum) flow of the plain network at the new α; the solver's
+        next run augments it to a max flow.
+        """
+        if self._canceled:
+            self._uncancel()
+        cap, base, head = self.cap, self.base_cap, self.head
+        excess: list[tuple[int, float]] = []
+        for a, c in zip(self.alpha_arcs, self.alpha_coeff):
+            new_cap = base[a] + c * alpha
+            flow = cap[a ^ 1] - base[a ^ 1]
+            if flow > new_cap:
+                cap[a] = 0.0
+                cap[a ^ 1] = base[a ^ 1] + new_cap
+                excess.append((head[a ^ 1], flow - new_cap))
+            else:
+                cap[a] = new_cap - flow
+        for node, amount in excess:
+            self._drain_to_source(node, amount)
+        self._alpha = alpha
+
+    def _drain_to_source(self, node: int, amount: float) -> float:
+        """Push ``amount`` units of excess from ``node`` back to the source.
+
+        Repeated residual-path search (node → source) with path
+        augmentation; returns the amount actually drained (equal to
+        ``amount`` whenever the excess came from clamping a feasible
+        flow, which is the only caller).
+        """
+        head, cap = self.head, self.cap
+        adj_start, adj_arcs = self.adj_start, self.adj_arcs
+        source = self.source
+        remaining = amount
+        while remaining > EPS:
+            parent = [-2] * self.num_nodes  # arc that discovered each node
+            parent[node] = -1
+            stack = [node]
+            found = False
+            while stack and not found:
+                u = stack.pop()
+                for idx in range(adj_start[u], adj_start[u + 1]):
+                    arc = adj_arcs[idx]
+                    w = head[arc]
+                    if parent[w] == -2 and cap[arc] > EPS:
+                        parent[w] = arc
+                        if w == source:
+                            found = True
+                            break
+                        stack.append(w)
+            if not found:  # pragma: no cover - impossible for clamped max flows
+                break
+            path: list[int] = []
+            w = source
+            while w != node:
+                arc = parent[w]
+                path.append(arc)
+                w = head[arc ^ 1]
+            push = remaining
+            for arc in path:
+                if cap[arc] < push:
+                    push = cap[arc]
+            for arc in path:
+                cap[arc] -= push
+                cap[arc ^ 1] += push
+            remaining -= push
+        return amount - remaining
+
     def _warm_step_ok(self, delta: float) -> bool:
         """Whether a warm start is safe for an α step of ``delta``.
 
@@ -201,11 +300,16 @@ class ParametricNetwork:
         """Max-flow at ``alpha``; return the source-side cut vertex set.
 
         Picks the cheapest valid warm-start (advance > checkpoint >
-        cold reset), runs the solver (Dinic by default), and returns the
+        retreat > cold reset), runs the solver (Dinic by default), and returns the
         graph vertices on the source side of the minimal min cut
         (excluding source/instance nodes) -- non-empty iff a subgraph
         with Ψ-density above ``alpha`` exists (Lemma 14).
         """
+        self._solve_residual(alpha, solver)
+        return self.cut_vertices()
+
+    def _solve_residual(self, alpha: float, solver=None) -> None:
+        """Warm-start to ``alpha`` and run the solver; no cut extraction."""
         if self._alpha is not None and alpha == self._alpha:
             pass  # residual state is already a max flow at this α
         elif (
@@ -223,6 +327,12 @@ class ParametricNetwork:
             self.cap = list(self._checkpoint_cap)
             self._alpha = self._checkpoint_alpha
             self._advance_alpha(alpha)
+        elif (
+            self._alpha is not None
+            and alpha < self._alpha
+            and self._warm_step_ok(self._alpha - alpha)
+        ):
+            self._retreat_alpha(alpha)
         else:
             self.set_alpha(alpha)
         if solver is None:
@@ -230,7 +340,151 @@ class ParametricNetwork:
         solver.max_flow(self)
         if self._canceled:
             self._uncancel()
-        return self.cut_vertices()
+
+    # --- breakpoint drivers (GGT) ------------------------------------
+
+    def cut_line(self, nodes: Optional[set[int]] = None) -> tuple[float, float]:
+        """Affine coefficients ``(A, B)`` of a cut's capacity ``A + B·α``.
+
+        ``nodes`` is the source-side node set as *internal* ids; when
+        omitted, the current residual min cut is used.  Computed from
+        the base capacities, so the line is valid at every α regardless
+        of the residual state.
+        """
+        if nodes is None:
+            nodes = self.min_cut_source_side()
+        if self._coeff_by_arc is None:
+            self._coeff_by_arc = dict(zip(self.alpha_arcs, self.alpha_coeff))
+        coeff_of = self._coeff_by_arc.get
+        head, base = self.head, self.base_cap
+        a_term = 0.0
+        b_term = 0.0
+        for arc in range(0, len(head), 2):  # forward arcs only; reverses carry base 0
+            if head[arc ^ 1] in nodes and head[arc] not in nodes:
+                a_term += base[arc]
+                b_term += coeff_of(arc, 0.0)
+        return a_term, b_term
+
+    def max_density(self, density_of, low: float = 0.0, solver=None) -> tuple[Optional[set], float, int]:
+        """Optimal α and its minimal cut, no binary search (GGT/Newton walk).
+
+        A discrete-Newton (Dinkelbach) iteration on the parametric
+        min-cut function: solve at α, read the minimal cut ``S``, jump
+        to ``α' = density_of(S)``.  Since ``α'`` is the exact Ψ-density
+        of an actual subgraph, every jump lands on a breakpoint of the
+        piecewise-linear concave min-cut capacity, and each solve is a
+        warm advance of the previous one (α only grows).  Terminates
+        when the cut at ``α = ρ(S)`` is trivial -- which certifies
+        ``ρ(S)`` optimal -- after at most #breakpoints solves.
+
+        Parameters
+        ----------
+        density_of:
+            Callback mapping a cut vertex set (external labels) to its
+            exact Ψ-density ``μ(S)/|S|``; the caller owns the clique or
+            instance material, the network does not.
+        low:
+            Starting guess, a valid lower bound on the optimum (0 is
+            always sound).
+        solver:
+            Max-flow solver module; Dinic by default.
+
+        Returns
+        -------
+        ``(cut, alpha, solves)``: the minimal min cut of the optimal α
+        (``None`` when even ``low`` is infeasible, i.e. no subgraph has
+        density above ``low``), the optimal density, and the number of
+        max-flow solves spent.
+        """
+        best: Optional[set] = None
+        best_density = low
+        alpha = low
+        solves = 0
+        while True:
+            cut = self.solve(alpha, solver)
+            solves += 1
+            if not cut:
+                break
+            # no checkpoint: α never decreases in the walk, so the
+            # advance warm start always applies and a snapshot would
+            # be an O(E) copy that is provably never restored
+            density = density_of(cut)
+            if best is None or density > best_density:
+                best = cut
+                best_density = density
+            if density <= alpha:
+                break  # float-exact optimum: the cut re-certifies itself
+            alpha = density
+        return best, (best_density if best is not None else low), solves
+
+    def solve_breakpoints(
+        self, alpha_lo: float, alpha_hi: float, solver=None, tol: float = 1e-9
+    ) -> list[tuple[float, set]]:
+        """All breakpoints of the min-cut function on ``[alpha_lo, alpha_hi]``.
+
+        Gallo–Grigoriadis–Tarjan divide and conquer: solve both
+        endpoints, intersect their cut lines, probe the intersection,
+        and recurse into any half where the cut still changes.  Because
+        the source-side cuts are nested and each probe either certifies
+        a breakpoint or splits off a new distinct cut, the total work is
+        O(#breakpoints) max-flow solves -- each warm-started from a
+        neighbouring α by the advance/retreat machinery.
+
+        Returns ``[(α_0, S_0), (α_1, S_1), ...]`` sorted by α:
+        ``S_0`` is the minimal cut at ``alpha_lo`` and each subsequent
+        ``(α_i, S_i)`` says the minimal cut changes to ``S_i`` (as
+        external vertex labels) at ``α_i``.
+        """
+        if alpha_hi < alpha_lo:
+            raise ValueError("alpha_hi must be >= alpha_lo")
+        labels = self.vertex_labels
+        nv = len(labels)
+
+        def probe(alpha: float) -> tuple[frozenset, tuple[float, float]]:
+            self._solve_residual(alpha, solver)
+            nodes = self.min_cut_source_side()
+            return frozenset(nodes), self.cut_line(nodes)
+
+        lo_nodes, lo_line = probe(alpha_lo)
+        hi_nodes, hi_line = probe(alpha_hi)
+        breaks: list[tuple[float, frozenset]] = []
+
+        # explicit work stack: the split tree can be one level per
+        # breakpoint, which would blow Python's recursion limit on
+        # networks with thousands of breakpoints
+        work = [(alpha_lo, lo_nodes, lo_line, alpha_hi, hi_nodes, hi_line)]
+        while work:
+            a_lo, nodes_lo, line_lo, a_hi, nodes_hi, line_hi = work.pop()
+            if nodes_lo == nodes_hi or a_hi - a_lo <= tol:
+                continue
+            (A_lo, B_lo), (A_hi, B_hi) = line_lo, line_hi
+            if B_lo == B_hi:  # parallel lines never cross: no breakpoint between
+                continue
+            cross = (A_hi - A_lo) / (B_lo - B_hi)
+            if not (a_lo - tol <= cross <= a_hi + tol):  # pragma: no cover - numeric guard
+                continue
+            mid_nodes, mid_line = probe(cross)
+            mid_value = mid_line[0] + mid_line[1] * cross
+            lo_value_at_cross = A_lo + B_lo * cross
+            value_tol = tol * (1.0 + abs(lo_value_at_cross))
+            if mid_value >= lo_value_at_cross - value_tol or mid_nodes in (nodes_lo, nodes_hi):
+                # the two endpoint lines meet on the lower envelope:
+                # cross is the single breakpoint separating their cuts
+                breaks.append((cross, nodes_hi))
+                continue
+            # lower half last so it pops first: probes sweep mostly
+            # downward-adjacent α values, keeping warm starts cheap
+            work.append((cross, mid_nodes, mid_line, a_hi, nodes_hi, line_hi))
+            work.append((a_lo, nodes_lo, line_lo, cross, mid_nodes, mid_line))
+        breaks.sort(key=lambda item: item[0])
+
+        def to_labels(nodes: frozenset) -> set:
+            return {labels[i] for i in nodes if i < nv}
+
+        out = [(alpha_lo, to_labels(lo_nodes))]
+        for alpha, nodes in breaks:
+            out.append((alpha, to_labels(nodes)))
+        return out
 
     # --- cut extraction ----------------------------------------------
 

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="the CSR backend is numpy-only")
+
 from repro.cliques.enumeration import clique_degrees
 from repro.core.kcore import core_decomposition
 from repro.graph.csr import CSRGraph, core_numbers, triangle_count, triangle_degrees

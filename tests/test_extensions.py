@@ -51,6 +51,90 @@ class TestDensestAtLeast:
             densest_at_least(Graph([(0, 1)]), 0)
 
 
+def _reference_at_least(graph, k, h=2):
+    """O(n)-min-scan reference peel with the same (degree, rank) tie-break."""
+    from repro.cliques.enumeration import CliqueIndex
+
+    n = graph.num_vertices
+    index = CliqueIndex(graph, h)
+    degree = index.degrees()
+    rank = {v: i for i, v in enumerate(graph.vertices())}
+    alive = set(graph.vertices())
+    best_density = index.num_alive / n if n else 0.0
+    best_vertices = set(alive)
+    while len(alive) > k:
+        v = min(alive, key=lambda u: (degree[u], rank[u]))
+        alive.discard(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u in alive:
+                    degree[u] -= 1
+        density = index.num_alive / len(alive)
+        if density > best_density:
+            best_density = density
+            best_vertices = set(alive)
+    return best_vertices, best_density
+
+
+def _reference_at_most(graph, k, h=2):
+    """O(n)-min-scan reference peel with the same (degree, rank) tie-break."""
+    from repro.cliques.enumeration import CliqueIndex
+
+    index = CliqueIndex(graph, h)
+    degree = index.degrees()
+    rank = {v: i for i, v in enumerate(graph.vertices())}
+    alive = set(graph.vertices())
+    best_density = -1.0
+    best_vertices: set = set()
+    if len(alive) <= k and alive:
+        best_density = index.num_alive / len(alive)
+        best_vertices = set(alive)
+    while len(alive) > 1:
+        v = min(alive, key=lambda u: (degree[u], rank[u]))
+        alive.discard(v)
+        for killed in index.peel_vertex(v):
+            for u in killed:
+                if u in alive:
+                    degree[u] -= 1
+        if alive and len(alive) <= k:
+            density = index.num_alive / len(alive)
+            if density > best_density:
+                best_density = density
+                best_vertices = set(alive)
+    return best_vertices, max(best_density, 0.0)
+
+
+class TestSharedPeelMatchesReference:
+    """The shared min-(degree, rank) peel must reproduce the O(n²) originals."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_at_least(self, seed, h):
+        g = random_graph(18, 50, seed=seed)
+        for k in (1, 5, 12):
+            result = densest_at_least(g, k, h)
+            ref_vertices, ref_density = _reference_at_least(g, k, h)
+            assert result.density == ref_density
+            assert result.vertices == ref_vertices
+            assert len(result.vertices) >= k
+            sub = g.subgraph(result.vertices)
+            from repro.cliques.enumeration import count_cliques
+
+            assert count_cliques(sub, h) / sub.num_vertices == result.density
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_at_most(self, seed, h):
+        g = random_graph(18, 50, seed=seed + 100)
+        for k in (3, 8, 30):
+            result = densest_at_most(g, k, h)
+            ref_vertices, ref_density = _reference_at_most(g, k, h)
+            assert result.density == ref_density
+            assert result.vertices == ref_vertices
+            if result.vertices:
+                assert len(result.vertices) <= k
+
+
 class TestDensestAtMost:
     def test_respects_maximum_size(self):
         g = random_graph(25, 80, seed=3)

@@ -147,6 +147,100 @@ class TestParametricMatchesFreshBuild:
         assert not net._warm_step_ok(1e-12)
         assert net._warm_step_ok(1e-3)
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_decreasing_alpha_retreat_matches_fresh_build(self, seed):
+        """The GGT decreasing-α half: a random α walk (ups AND downs)
+        must reproduce the cuts of cold builds at every step."""
+        import random as _random
+
+        g = random_graph(22, 65, seed + 700)
+        net = build_eds_parametric(g)
+        rng = _random.Random(seed)
+        for _ in range(14):
+            alpha = rng.uniform(0.0, g.max_degree())
+            cut = net.solve(alpha)
+            legacy = build_eds_network(g, alpha)
+            dinic.max_flow(legacy)
+            assert cut == vertices_of_cut(legacy.min_cut_source_side())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_retreat_on_cds_network(self, seed):
+        g = random_graph(18, 55, seed + 800)
+        net = build_cds_parametric(g, 3)
+        for alpha in (6.0, 1.5, 4.0, 0.25, 5.5, 0.75):
+            cut = net.solve(alpha)
+            legacy = build_cds_network(g, 3, alpha)
+            dinic.max_flow(legacy)
+            assert cut == vertices_of_cut(legacy.min_cut_source_side())
+
+
+class TestBreakpointEngine:
+    """GGT drivers: max_density and solve_breakpoints."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_max_density_matches_binary_search(self, seed):
+        g = random_graph(20, 60, seed)
+        net = build_eds_parametric(g)
+        cut, alpha, solves = net.max_density(
+            lambda s: g.subgraph(s).num_edges / len(s), low=0.0
+        )
+        ref = exact_densest(g, 2, flow_engine="rebuild")
+        assert cut == ref.vertices
+        assert alpha == ref.density
+        # a parametric sweep, not a binary search: solves stays tiny
+        assert solves < ref.iterations
+        assert solves <= 8
+
+    def test_max_density_infeasible_lower_bound(self):
+        g = random_graph(14, 30, 2)
+        opt = exact_densest(g, 2).density
+        net = build_eds_parametric(g)
+        cut, alpha, solves = net.max_density(
+            lambda s: g.subgraph(s).num_edges / len(s), low=opt + 1.0
+        )
+        assert cut is None
+        assert alpha == opt + 1.0
+        assert solves == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_solve_breakpoints_covers_the_alpha_axis(self, seed):
+        """The breakpoint list must reproduce every cold solve on a grid."""
+        g = random_graph(16, 40, seed + 40)
+        net = build_eds_parametric(g)
+        high = float(g.max_degree())
+        segments = net.solve_breakpoints(0.0, high)
+        assert segments[0][0] == 0.0
+        alphas = sorted(a for a, _ in segments)
+        assert alphas == [a for a, _ in segments]  # sorted output
+        probe = build_eds_parametric(g)
+        for i in range(33):
+            alpha = high * i / 32.0
+            expected = segments[0][1]
+            for bp_alpha, bp_cut in segments:
+                if bp_alpha <= alpha + 1e-12:
+                    expected = bp_cut
+            assert probe.solve(alpha) == expected, (seed, alpha)
+
+    def test_breakpoints_include_the_optimal_density(self):
+        """ρ_opt is a breakpoint: the cut collapses when α crosses it."""
+        g = random_graph(18, 50, 9)
+        opt = exact_densest(g, 2).density
+        net = build_eds_parametric(g)
+        segments = net.solve_breakpoints(0.0, float(g.max_degree()))
+        assert any(abs(alpha - opt) < 1e-9 for alpha, _ in segments)
+        # above the last breakpoint the minimal cut is trivial
+        assert segments[-1][1] == set()
+
+    def test_cut_line_matches_cut_capacity(self):
+        g = random_graph(14, 36, 5)
+        net = build_eds_parametric(g)
+        for alpha in (0.5, 1.5, 3.0):
+            net.solve(alpha)
+            a_term, b_term = net.cut_line()
+            legacy = build_eds_network(g, alpha)
+            value = dinic.max_flow(legacy)
+            assert a_term + b_term * alpha == pytest.approx(value, rel=1e-9)
+
 
 class TestFlowEngineBitIdentical:
     """α-reuse must not change any flow-dependent result."""
@@ -160,6 +254,9 @@ class TestFlowEngineBitIdentical:
         assert reused.vertices == rebuilt.vertices
         assert reused.density == rebuilt.density
         assert reused.iterations == rebuilt.iterations
+        ggt = core_exact_densest(g, h, flow_engine="ggt")
+        assert ggt.vertices == rebuilt.vertices
+        assert ggt.density == rebuilt.density
 
     @pytest.mark.parametrize("seed", range(4))
     def test_exact(self, seed):
@@ -168,28 +265,35 @@ class TestFlowEngineBitIdentical:
         reused = exact_densest(g, 2, flow_engine="reuse")
         assert reused.vertices == rebuilt.vertices
         assert reused.density == rebuilt.density
+        ggt = exact_densest(g, 2, flow_engine="ggt")
+        assert ggt.vertices == rebuilt.vertices
+        assert ggt.density == rebuilt.density
+        assert ggt.iterations < rebuilt.iterations
 
     @pytest.mark.parametrize("seed", range(3))
     def test_pds_exact(self, seed):
         g = random_graph(16, 40, seed + 300)
         pattern = get_pattern("triangle")
         rebuilt = p_exact_densest(g, pattern, flow_engine="rebuild")
-        reused = p_exact_densest(g, pattern, flow_engine="reuse")
-        assert reused.vertices == rebuilt.vertices
-        assert reused.density == rebuilt.density
+        for engine in ("reuse", "ggt"):
+            result = p_exact_densest(g, pattern, flow_engine=engine)
+            assert result.vertices == rebuilt.vertices
+            assert result.density == rebuilt.density
         core_rebuilt = core_p_exact_densest(g, pattern, flow_engine="rebuild")
-        core_reused = core_p_exact_densest(g, pattern, flow_engine="reuse")
-        assert core_reused.vertices == core_rebuilt.vertices
-        assert core_reused.density == core_rebuilt.density
+        for engine in ("reuse", "ggt"):
+            result = core_p_exact_densest(g, pattern, flow_engine=engine)
+            assert result.vertices == core_rebuilt.vertices
+            assert result.density == core_rebuilt.density
 
     @pytest.mark.parametrize("seed", range(3))
     def test_query_variant(self, seed):
         g = random_graph(22, 60, seed + 400)
         anchors = [next(iter(g.vertices()))]
         rebuilt = query_densest(g, anchors, flow_engine="rebuild")
-        reused = query_densest(g, anchors, flow_engine="reuse")
-        assert reused.vertices == rebuilt.vertices
-        assert reused.density == rebuilt.density
+        for engine in ("reuse", "ggt"):
+            result = query_densest(g, anchors, flow_engine=engine)
+            assert result.vertices == rebuilt.vertices
+            assert result.density == rebuilt.density
 
 
 class TestEngineKnob:
@@ -199,6 +303,8 @@ class TestEngineKnob:
         assert result.stats["flow_engine"] == "rebuild"
         result = densest_subgraph(g, 2, method="core-exact")
         assert result.stats["flow_engine"] == "reuse"
+        result = densest_subgraph(g, 2, method="core-exact", flow_engine="ggt")
+        assert result.stats["flow_engine"] == "ggt"
 
     def test_unknown_engine_rejected(self):
         g = random_graph(10, 20, 1)
@@ -212,3 +318,11 @@ class TestEngineKnob:
         results = top_k_densest(g, 2, method=core_exact_densest, flow_engine="reuse")
         assert results
         assert all(r.stats["flow_engine"] == "reuse" for r in results)
+
+    def test_topk_threads_ggt(self):
+        g = random_graph(18, 45, 5)
+        via_ggt = top_k_densest(g, 2, method=core_exact_densest, flow_engine="ggt")
+        via_reuse = top_k_densest(g, 2, method=core_exact_densest, flow_engine="reuse")
+        assert [r.vertices for r in via_ggt] == [r.vertices for r in via_reuse]
+        assert [r.density for r in via_ggt] == [r.density for r in via_reuse]
+        assert all(r.stats["flow_engine"] == "ggt" for r in via_ggt)

@@ -11,6 +11,15 @@ from repro.graph.graph import Graph, complete_graph
 from .conftest import random_graph
 
 
+def _circulant(n: int, d: int) -> Graph:
+    """A d-regular circulant graph: i ~ i ± 1, ..., i ± d/2 (d even)."""
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for offset in range(1, d // 2 + 1):
+            g.add_edge(i, (i + offset) % n)
+    return g
+
+
 class TestStreamingDensest:
     def test_exact_on_clique(self):
         result = streaming_densest(complete_graph(6))
@@ -45,6 +54,42 @@ class TestStreamingDensest:
 
     def test_empty(self):
         assert streaming_densest(Graph()).density == 0.0
+
+    def test_regular_graph_batch_peel_fires(self):
+        """Regression: with the (1+ε)ρ threshold no vertex of a regular
+        graph was ever doomed (deg d > (1+ε)·d/2 for ε < 1), so the
+        "cannot happen" fallback peeled one vertex per pass and the
+        extension silently degraded to O(n) passes.  The correct
+        Bahmani et al. threshold 2(1+ε)ρ dooms every vertex of a
+        d-regular graph at once."""
+        n, eps = 64, 0.1
+        g = _circulant(n, 4)  # 4-regular: rho = 2, threshold = 4.4 >= 4
+        result = streaming_densest(g, eps)
+        assert result.iterations == 1
+        assert result.stats["pass_sizes"] == [n]
+        assert result.density == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("n,d", [(128, 4), (256, 6)])
+    def test_pass_count_logarithmic_on_regular_graphs(self, n, d):
+        eps = 0.25
+        result = streaming_densest(_circulant(n, d), eps)
+        bound = math.ceil(math.log(n) / math.log(1.0 + eps)) + 1
+        assert result.iterations <= bound  # O(log n / eps) ...
+        assert result.iterations < n // 4  # ... and nowhere near O(n)
+        # the batch peel genuinely removes >1 vertex per pass
+        assert all(size > 1 for size in result.stats["pass_sizes"])
+
+    def test_survivors_shrink_geometrically(self):
+        """Each pass keeps fewer than n/(1+ε) of its n vertices."""
+        eps = 0.3
+        g = random_graph(200, 700, seed=11)
+        result = streaming_densest(g, eps)
+        alive = 200
+        for size in result.stats["pass_sizes"]:
+            survivors = alive - size
+            assert survivors < alive / (1.0 + eps) + 1e-9
+            alive = survivors
+        assert alive == 0
 
     def test_planted_clique_recovered(self):
         from repro.graph.generators import erdos_renyi_gnm, planted_clique
