@@ -3,10 +3,15 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench ablation
+.PHONY: test test-clique-index bench-smoke bench ablation
 
 test:
 	$(PY) -m pytest -x -q
+
+# The clique-index property suite on its own (CI also runs it with
+# REPRO_NO_NUMPY=1 to pin the pure-python kernel path explicitly).
+test-clique-index:
+	$(PY) -m pytest tests/test_clique_index.py -q
 
 # One tiny bench per family (figure, table, ablation) at a reduced
 # dataset scale, under a hard time cap -- perf regressions fail loudly

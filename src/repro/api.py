@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from .cliques.index import CliqueIndex
 from .core.core_app import core_app_densest
 from .core.core_exact import core_exact_densest
 from .core.exact import DensestSubgraphResult, exact_densest
@@ -57,7 +58,7 @@ def densest_subgraph(
     graph: Graph,
     psi: PatternLike = 2,
     method: str = "auto",
-    flow_engine: str = "reuse",
+    flow_engine: str = "ggt",
 ) -> DensestSubgraphResult:
     """Find the Ψ-densest subgraph of ``graph``.
 
@@ -73,14 +74,21 @@ def densest_subgraph(
         ``inc-app``, ``core-app``.
     flow_engine:
         How the exact methods drive their max-flow solves.  ``"ggt"``
-        walks the min-cut breakpoints of one α-parametric arc-array
-        network (Gallo–Grigoriadis–Tarjan style; no binary search, a
-        handful of warm solves); ``"reuse"`` (default) runs the binary
+        (default) walks the min-cut breakpoints of one α-parametric
+        arc-array network (Gallo–Grigoriadis–Tarjan style; no binary
+        search, a handful of warm solves); ``"reuse"`` runs the binary
         search but re-solves one α-parametric network, rewriting only
         the sink capacities per iteration; ``"rebuild"`` reconstructs
         the network every iteration.  All three return bit-identical
         vertex sets and densities; the peeling-based approximations
         take no flow engine.
+
+    Notes
+    -----
+    For h-clique motifs with h >= 3 the clique instances are indexed
+    exactly once per call (:class:`~repro.cliques.index.CliqueIndex`)
+    and threaded through the solver, so e.g. CoreExact's locate-core
+    and flow phases never re-enumerate.
 
     Examples
     --------
@@ -94,11 +102,21 @@ def densest_subgraph(
 
     if pattern.is_clique():
         h = pattern.size
+
+        def clique_index() -> CliqueIndex | None:
+            # built once per call, after method validation; every
+            # index-aware solver below receives the same artifact
+            return CliqueIndex(graph, h) if h >= 3 else None
+
         dispatch = {
-            "exact": lambda: exact_densest(graph, h, flow_engine=flow_engine),
-            "core-exact": lambda: core_exact_densest(graph, h, flow_engine=flow_engine),
-            "peel": lambda: peel_densest(graph, h),
-            "inc-app": lambda: inc_app_densest(graph, h),
+            "exact": lambda: exact_densest(
+                graph, h, flow_engine=flow_engine, index=clique_index()
+            ),
+            "core-exact": lambda: core_exact_densest(
+                graph, h, flow_engine=flow_engine, index=clique_index()
+            ),
+            "peel": lambda: peel_densest(graph, h, index=clique_index()),
+            "inc-app": lambda: inc_app_densest(graph, h, index=clique_index()),
             "core-app": lambda: core_app_densest(graph, h),
         }
     else:

@@ -49,33 +49,42 @@ def nucleus_core_numbers(graph: Graph, h: int, max_rounds: int | None = None) ->
     if h < 2:
         raise ValueError("h must be >= 2")
     index = CliqueIndex(graph, h)
-    estimate: dict[Vertex, int] = index.degrees()
-    if not estimate:
+    if not index.vertices:
         return {}
+    estimate = list(index.base_degree)
+    inst, inc_start, inc_ids = index.inst, index.inc_start, index.inc_ids
 
-    dirty = set(graph.vertices())
+    dirty = set(range(len(index.vertices)))
     rounds = 0
     while dirty:
         rounds += 1
         if max_rounds is not None and rounds > max_rounds:
             break
-        next_dirty: set[Vertex] = set()
-        for v in dirty:
-            postings = index.member_of.get(v, ())
-            if not postings:
-                estimate[v] = 0
+        next_dirty: set[int] = set()
+        for vid in dirty:
+            lo, hi = inc_start[vid], inc_start[vid + 1]
+            if lo == hi:
+                estimate[vid] = 0
                 continue
             support = [
-                min(estimate[u] for u in index.instances[idx] if u != v) for idx in postings
+                min(
+                    estimate[uid]
+                    for uid in inst[inc_ids[pos] * h : inc_ids[pos] * h + h]
+                    if uid != vid
+                )
+                for pos in range(lo, hi)
             ]
             new = _h_index(support)
-            if new < estimate[v]:
-                estimate[v] = new
+            if new < estimate[vid]:
+                estimate[vid] = new
                 # a drop can lower the h-index of every co-member
-                for idx in postings:
-                    next_dirty.update(u for u in index.instances[idx] if u != v)
+                for pos in range(lo, hi):
+                    iid = inc_ids[pos]
+                    next_dirty.update(
+                        uid for uid in inst[iid * h : iid * h + h] if uid != vid
+                    )
         dirty = next_dirty
-    return estimate
+    return {v: estimate[i] for i, v in enumerate(index.vertices)}
 
 
 def nucleus_densest(graph: Graph, h: int = 2) -> DensestSubgraphResult:

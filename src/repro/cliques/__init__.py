@@ -1,5 +1,6 @@
-"""h-clique enumeration and clique-degree machinery."""
+"""h-clique enumeration, vectorised instance kernels, and the shared index."""
 
-from .enumeration import CliqueIndex, clique_degrees, count_cliques, enumerate_cliques
+from .enumeration import clique_degrees, count_cliques, enumerate_cliques
+from .index import CliqueIndex
 
 __all__ = ["CliqueIndex", "clique_degrees", "count_cliques", "enumerate_cliques"]

@@ -13,7 +13,7 @@ exactly once, and the recursion depth is bounded by ``h``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 from ..graph.graph import Graph, Vertex
 
@@ -146,65 +146,16 @@ def clique_degrees(graph: Graph, h: int) -> dict[Vertex, int]:
     return degrees
 
 
-class CliqueIndex:
-    """A materialised index of every h-clique instance in a graph.
+# The materialised instance index lives in repro.cliques.index these
+# days (flat row array + CSR incidence, numpy-kernel enumeration); the
+# re-export keeps the many historical `from ..cliques.enumeration
+# import CliqueIndex` call sites working.
+from .index import CliqueIndex  # noqa: E402  (re-export)
 
-    The (k, Ψ)-core peeling of Algorithm 3 repeatedly asks "which live
-    instances contain v?".  This index stores each instance once, keeps a
-    per-vertex posting list, and supports O(h) invalidation when a vertex
-    is peeled.
-
-    Attributes
-    ----------
-    instances:
-        List of vertex tuples, one per instance.
-    alive:
-        Parallel boolean list; an instance dies when any member is peeled.
-    member_of:
-        ``vertex -> list of instance ids`` posting lists.
-    """
-
-    def __init__(self, graph: Graph, h: int, instances: Optional[list[tuple[Vertex, ...]]] = None):
-        self.h = h
-        self.instances: list[tuple[Vertex, ...]] = (
-            list(enumerate_cliques(graph, h)) if instances is None else instances
-        )
-        self.alive: list[bool] = [True] * len(self.instances)
-        self.num_alive = len(self.instances)
-        member_of: dict[Vertex, list[int]] = {v: [] for v in graph}
-        for idx, inst in enumerate(self.instances):
-            for v in inst:
-                postings = member_of.get(v)
-                if postings is None:
-                    postings = member_of[v] = []
-                postings.append(idx)
-        self.member_of = member_of
-
-    def degrees(self) -> dict[Vertex, int]:
-        """Current (live) clique-degrees of all indexed vertices."""
-        if self.num_alive == len(self.instances):  # nothing peeled yet
-            return {v: len(postings) for v, postings in self.member_of.items()}
-        return {
-            v: sum(1 for idx in postings if self.alive[idx])
-            for v, postings in self.member_of.items()
-        }
-
-    def peel_vertex(self, v: Vertex) -> list[tuple[Vertex, ...]]:
-        """Kill every live instance containing ``v``; return those instances.
-
-        The caller uses the returned instances to decrement the degrees
-        of the surviving co-members.
-        """
-        killed: list[tuple[Vertex, ...]] = []
-        for idx in self.member_of.get(v, ()):
-            if self.alive[idx]:
-                self.alive[idx] = False
-                self.num_alive -= 1
-                killed.append(self.instances[idx])
-        return killed
-
-    def live_instances(self) -> Iterator[tuple[Vertex, ...]]:
-        """Iterate over the instances that are still alive."""
-        for idx, inst in enumerate(self.instances):
-            if self.alive[idx]:
-                yield inst
+__all__ = [
+    "CliqueCallback",
+    "CliqueIndex",
+    "clique_degrees",
+    "count_cliques",
+    "enumerate_cliques",
+]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cliques.enumeration import CliqueIndex
+from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
 
 
@@ -69,8 +69,10 @@ def clique_core_decomposition(
         Clique size of Ψ (h >= 2; ``h == 2`` reduces to the classical
         k-core, which :mod:`repro.core.kcore` computes faster).
     index:
-        Optionally a pre-built :class:`CliqueIndex` (it is consumed:
-        instances are peeled).  Built from scratch when omitted.
+        Optionally a pre-built :class:`CliqueIndex`.  The decomposition
+        peels a private alive-layer copy, so the index comes back
+        untouched and can keep serving the flow builders of the same
+        call.  Built from scratch when omitted.
 
     Notes
     -----
@@ -84,35 +86,18 @@ def clique_core_decomposition(
     return peel_index_decomposition(graph, index)
 
 
-def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResult:
-    """Algorithm-3 peeling over any materialised instance index.
+def degree_bucket_queue(deg: list[int]) -> tuple[list[int], list[int], list[int]]:
+    """Counting-sort setup of the Batagelj–Zaveršnik bucket queue.
 
-    Shared engine for clique cores and pattern cores: the index only
-    needs to know which vertices each live instance spans, so the same
-    bucket-queue peel decomposes (k, Ψ)-cores for h-cliques and for
-    arbitrary patterns alike.
+    Returns ``(position, order, bin_ptr)``: ``order`` lists vertex ids
+    ascending by degree with ``position`` its inverse, and ``bin_ptr[d]``
+    points at the first entry of degree-``d``'s bucket.  Shared by the
+    full decomposition here and CoreApp's floor-clamped prefix peel
+    (:func:`repro.core.core_app._kmax_core_at_least`); both then run
+    the standard one-swap-per-decrement loop over these arrays.
     """
-    degree = index.degrees()
-    graph_vertices = set(graph.vertices())
-    core: dict[Vertex, int] = {}
-    peel_order: list[Vertex] = []
-
-    n_graph = graph.num_vertices
-    best_density = (index.num_alive / n_graph) if n_graph else 0.0
-    # The best residual is reconstructed from the peel prefix at the end
-    # instead of copying the alive set on every improvement (O(n^2) on
-    # graphs whose density keeps rising while peeling).
-    best_removed = 0
-
-    # Array-backed bucket queue (Batagelj–Zaveršnik layout, as in
-    # repro.graph.csr.core_numbers): vertices sorted by current degree
-    # in ``order``, one swap per degree decrement.
-    vertices = list(degree)
-    n = len(vertices)
-    id_of = {v: i for i, v in enumerate(vertices)}
-    deg = [degree[v] for v in vertices]
+    n = len(deg)
     max_deg = max(deg, default=0)
-
     bin_start = [0] * (max_deg + 2)
     for d in deg:
         bin_start[d + 1] += 1
@@ -127,22 +112,66 @@ def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResu
         position[i] = p
         order[p] = i
         fill[d] += 1
-    bin_ptr = bin_start[: max_deg + 1]
+    return position, order, bin_start[: max_deg + 1]
 
-    removed = [False] * n
+
+def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResult:
+    """Algorithm-3 peeling over any materialised instance index.
+
+    Shared engine for clique cores and pattern cores: the index only
+    needs to know which vertices each live instance spans, so the same
+    bucket-queue peel decomposes (k, Ψ)-cores for h-cliques and for
+    arbitrary patterns alike.  The peel runs entirely on the index's
+    flat arrays -- instance kills walk the per-vertex CSR incidence
+    ranges -- against a *private copy* of the alive layer, so the index
+    itself is left untouched for later consumers (CoreExact's flow
+    phase reuses it).
+    """
+    labels = index.vertices
+    n = len(labels)
+    n_graph = graph.num_vertices
+    in_graph = bytearray(v in graph for v in labels)
+    inst, inc_start, inc_ids, h = index.inst, index.inc_start, index.inc_ids, index.h
+
+    alive = bytearray(index.alive)
+    num_alive = index.num_alive
+    if num_alive == index.m:
+        deg = list(index.base_degree)
+    else:  # respect a partially peeled index
+        degree = index.degrees()
+        deg = [degree[v] for v in labels]
+
+    core: dict[Vertex, int] = {}
+    peel_order: list[Vertex] = []
+    best_density = (num_alive / n_graph) if n_graph else 0.0
+    # The best residual is reconstructed from the peel prefix at the end
+    # instead of copying the alive set on every improvement (O(n^2) on
+    # graphs whose density keeps rising while peeling).
+    best_removed = 0
+
+    # Array-backed bucket queue (Batagelj–Zaveršnik layout, as in
+    # repro.graph.csr.core_numbers): vertices sorted by current degree
+    # in ``order``, one swap per degree decrement.
+    position, order, bin_ptr = degree_bucket_queue(deg)
+
+    removed = bytearray(n)
     alive_graph = n_graph
     for i in range(n):
         vi = order[i]
-        v = vertices[vi]
         dv = deg[vi]
-        removed[vi] = True
-        core[v] = dv
-        peel_order.append(v)
-        if v in graph_vertices:
+        removed[vi] = 1
+        core[labels[vi]] = dv
+        peel_order.append(labels[vi])
+        if in_graph[vi]:
             alive_graph -= 1
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                ui = id_of[u]
+        for pos in range(inc_start[vi], inc_start[vi + 1]):
+            iid = inc_ids[pos]
+            if not alive[iid]:
+                continue
+            alive[iid] = 0
+            num_alive -= 1
+            for k in range(iid * h, iid * h + h):
+                ui = inst[k]
                 if not removed[ui] and deg[ui] > dv:
                     du = deg[ui]
                     first = bin_ptr[du]
@@ -154,10 +183,11 @@ def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResu
                     bin_ptr[du] += 1
                     deg[ui] = du - 1
         if alive_graph:
-            density = index.num_alive / alive_graph
+            density = num_alive / alive_graph
             if density > best_density:
                 best_density = density
                 best_removed = len(peel_order)
+    graph_vertices = set(graph.vertices())
     if best_removed:
         peeled = set(peel_order[:best_removed])
         best_vertices = {v for v in graph_vertices if v not in peeled}

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import math
 
-from ..cliques.enumeration import CliqueIndex, count_cliques
+from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
+from .clique_core import degree_bucket_queue
 from .exact import DensestSubgraphResult
 from .kcore import core_decomposition
 
@@ -106,7 +107,7 @@ def core_app_densest(
             best_core = polished
 
     core_graph = graph.subgraph(best_core)
-    density = count_cliques(core_graph, h) / core_graph.num_vertices
+    density = CliqueIndex(core_graph, h).m / core_graph.num_vertices
     return DensestSubgraphResult(
         vertices=set(best_core),
         density=density,
@@ -118,42 +119,55 @@ def core_app_densest(
 def _kmax_core_at_least(graph: Graph, h: int, floor: int) -> tuple[int, set[Vertex]]:
     """(kmax, kmax-core vertices) of ``graph``, reported only if >= floor.
 
-    Implements lines 5-14 of Algorithm 6: peel G[W] bottom-up, but only
-    cores with number >= ``floor`` matter, so the peel clamps below that
-    and returns (0, empty) when the deepest core falls short.
+    Implements lines 5-14 of Algorithm 6: peel G[W] bottom-up over the
+    instance index's flat incidence arrays (the same Batagelj–Zaveršnik
+    array bucket queue as the full decomposition).  Only cores with
+    number >= ``floor`` matter, so the peel returns (0, empty) when the
+    deepest core falls short.
     """
     index = CliqueIndex(graph, h)
-    degree = index.degrees()
-    max_deg = max(degree.values(), default=0)
+    labels = index.vertices
+    n = len(labels)
+    deg = list(index.base_degree)
+    max_deg = max(deg, default=0)
     if max_deg == 0:
         return 0, set()
-    buckets: list[set[Vertex]] = [set() for _ in range(max_deg + 1)]
-    for v, d in degree.items():
-        buckets[d].add(v)
-    alive = set(graph.vertices())
-    removed: set[Vertex] = set()
+    inst, inc_start, inc_ids = index.inst, index.inc_start, index.inc_ids
+    alive = index.alive
+
+    position, order, bin_ptr = degree_bucket_queue(deg)
+
+    removed = bytearray(n)
     kmax = 0
-    core_at_kmax: set[Vertex] = set()
-    current = 0
-    for _ in range(graph.num_vertices):
-        while current <= max_deg and not buckets[current]:
-            current += 1
-        if current > max_deg:
-            break
-        v = buckets[current].pop()
-        if current > kmax:
-            # every vertex still alive (v included) survives at level
-            # `current`: they form the (current, Ψ)-core of G[W].
-            kmax = current
-            core_at_kmax = set(alive)
-        removed.add(v)
-        alive.discard(v)
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                if u not in removed and degree[u] > current:
-                    buckets[degree[u]].discard(u)
-                    degree[u] -= 1
-                    buckets[degree[u]].add(u)
+    kmax_at = 0  # peel step where kmax was last raised
+    for i in range(n):
+        vi = order[i]
+        dv = deg[vi]
+        if dv > kmax:
+            # every vertex still unpeeled (vi included) survives at
+            # level `dv`: they form the (dv, Ψ)-core of G[W].
+            kmax = dv
+            kmax_at = i
+        removed[vi] = 1
+        for pos in range(inc_start[vi], inc_start[vi + 1]):
+            iid = inc_ids[pos]
+            if not alive[iid]:
+                continue
+            alive[iid] = 0
+            for k in range(iid * h, iid * h + h):
+                ui = inst[k]
+                if not removed[ui] and deg[ui] > dv:
+                    du = deg[ui]
+                    first = bin_ptr[du]
+                    w = order[first]
+                    if w != ui:
+                        pu = position[ui]
+                        order[first], order[pu] = ui, w
+                        position[ui], position[w] = first, pu
+                    bin_ptr[du] += 1
+                    deg[ui] = du - 1
     if kmax < floor:
         return 0, set()
-    return kmax, core_at_kmax
+    # the processed prefix of `order` is final once passed, so the
+    # survivors at step `kmax_at` are exactly order[kmax_at:]
+    return kmax, {labels[order[j]] for j in range(kmax_at, n)}

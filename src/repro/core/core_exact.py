@@ -26,7 +26,7 @@ import math
 import time
 from typing import Optional
 
-from ..cliques.enumeration import enumerate_cliques
+from ..cliques.index import CliqueIndex
 from ..flow import dinic
 from ..flow.builders import (
     build_cds_network,
@@ -41,44 +41,43 @@ from .exact import DensestSubgraphResult, check_flow_engine
 
 
 class _ComponentState:
-    """A component subgraph plus the clique material its networks need.
+    """A component subgraph plus the slice of the clique index it owns.
 
-    Rebuilt whenever CoreExact shrinks the component to a higher core,
-    so clique enumeration is paid once per shrink, not per iteration.
-    With the default ``"reuse"`` engine the α-parametric flow network is
-    likewise built once per shrink and re-solved across the binary
-    search; ``"rebuild"`` reconstructs it per iteration.
+    The clique material is a :meth:`~repro.cliques.index.CliqueIndex.subindex`
+    of the call-level index -- row selection, never re-enumeration --
+    rebuilt whenever CoreExact shrinks the component to a higher core.
+    With the parametric engines the α-parametric flow network is
+    likewise built once per shrink (straight from the instance rows)
+    and re-solved; ``"rebuild"`` reconstructs it per iteration.
     """
 
-    def __init__(self, graph: Graph, h: int, flow_engine: str = "reuse"):
+    def __init__(
+        self,
+        graph: Graph,
+        h: int,
+        flow_engine: str = "ggt",
+        index: CliqueIndex | None = None,
+    ):
         self.graph = graph
         self.h = h
         self.flow_engine = flow_engine
         self._net = None
         self.network_nodes = 0  # node count of the last-solved network
         if h >= 3:
-            self.h_cliques = list(enumerate_cliques(graph, h))
-            self.sub_cliques = list(enumerate_cliques(graph, h - 1))
-            self.degrees: dict[Vertex, int] = {v: 0 for v in graph}
-            for inst in self.h_cliques:
-                for v in inst:
-                    self.degrees[v] += 1
+            self.index = index if index is not None else CliqueIndex(graph, h)
         else:
-            self.h_cliques = None
-            self.sub_cliques = None
-            self.degrees = None
+            self.index = None
+
+    def shrink(self, keep: set[Vertex]) -> "_ComponentState":
+        """A new state on the induced subgraph ``G[keep]`` (index sliced)."""
+        sub = self.graph.subgraph(keep)
+        sub_index = self.index.subindex(sub) if self.index is not None else None
+        return _ComponentState(sub, self.h, self.flow_engine, index=sub_index)
 
     def build_network(self, alpha: float):
         if self.h == 2:
             return build_eds_network(self.graph, alpha)
-        return build_cds_network(
-            self.graph,
-            self.h,
-            alpha,
-            h_cliques=self.h_cliques,
-            sub_cliques=self.sub_cliques,
-            degrees=self.degrees,
-        )
+        return build_cds_network(self.graph, self.h, alpha, index=self.index)
 
     def solve(self, alpha: float) -> set[Vertex]:
         """Source-side cut vertex set of the min cut at guess ``alpha``."""
@@ -96,26 +95,14 @@ class _ComponentState:
             if self.h == 2:
                 self._net = build_eds_parametric(self.graph)
             else:
-                self._net = build_cds_parametric(
-                    self.graph,
-                    self.h,
-                    h_cliques=self.h_cliques,
-                    sub_cliques=self.sub_cliques,
-                    degrees=self.degrees,
-                )
+                self._net = build_cds_parametric(self.graph, self.h, index=self.index)
         return self._net
 
     def density_of(self, vertices: set[Vertex]) -> float:
         """Exact Ψ-density of a subset of this component's vertices."""
         if self.h == 2:
             return self.graph.subgraph(vertices).num_edges / len(vertices)
-        return sum(1 for inst in self.h_cliques if vertices.issuperset(inst)) / len(vertices)
-
-    def solve_max_density(self, low: float):
-        """GGT breakpoint walk from lower bound ``low``: (cut, ρ, solves)."""
-        net = self._parametric()
-        self.network_nodes = net.num_nodes
-        return net.max_density(self.density_of, low=low)
+        return self.index.density_within(vertices)
 
     def checkpoint(self) -> None:
         """Record the current flow as the warm-start base (new lower bound)."""
@@ -127,18 +114,24 @@ class _ComponentState:
             return 0.0
         if self.h == 2:
             return self.graph.num_edges / self.graph.num_vertices
-        return len(self.h_cliques) / self.graph.num_vertices
+        return self.index.m / self.graph.num_vertices
 
     @property
     def num_vertices(self) -> int:
         return self.graph.num_vertices
 
 
-def _subgraph_density(graph: Graph, vertices: set[Vertex], h: int) -> float:
+def _subgraph_density(graph: Graph, vertices: set[Vertex], h: int, index=None) -> float:
+    if not vertices:
+        return 0.0
+    if index is not None:
+        return index.density_within(vertices)
     sub = graph.subgraph(vertices)
     if sub.num_vertices == 0:
         return 0.0
-    return sum(1 for _ in enumerate_cliques(sub, h)) / sub.num_vertices
+    if h == 2:
+        return sub.num_edges / sub.num_vertices
+    return CliqueIndex(sub, h).m / sub.num_vertices
 
 
 def core_exact_densest(
@@ -149,7 +142,8 @@ def core_exact_densest(
     pruning2: bool = True,
     pruning3: bool = True,
     decomposition: Optional[CliqueCoreResult] = None,
-    flow_engine: str = "reuse",
+    flow_engine: str = "ggt",
+    index: Optional[CliqueIndex] = None,
 ) -> DensestSubgraphResult:
     """CoreExact: exact CDS with core-based pruning.
 
@@ -164,20 +158,29 @@ def core_exact_densest(
         Optionally a precomputed Algorithm-3 result, to amortise the
         decomposition across calls.
     flow_engine:
-        ``"ggt"`` walks the min-cut breakpoints of one α-parametric
-        network per component (no binary search; a handful of warm
-        solves); ``"reuse"`` (default) builds one α-parametric network
-        per component (rebuilt on core shrinks) and re-solves it across
-        the binary search with warm-started flows; ``"rebuild"``
-        reconstructs the network every iteration (the pre-parametric
-        behaviour; both kept for the flow-engine ablation bench).  All
-        three return bit-identical vertex sets and densities.
+        ``"ggt"`` (default) walks the min-cut breakpoints of one
+        α-parametric network per component (no binary search; a handful
+        of warm solves, re-intersecting the component with the
+        ⌈α⌉-core between Newton hops so networks shrink mid-search);
+        ``"reuse"`` builds one α-parametric network per component
+        (rebuilt on core shrinks) and re-solves it across the binary
+        search with warm-started flows; ``"rebuild"`` reconstructs the
+        network every iteration (the pre-parametric behaviour; both
+        kept for the flow-engine ablation bench).  All three return
+        bit-identical vertex sets and densities.
+    index:
+        Optional pre-built, unpeeled :class:`CliqueIndex` of ``graph``
+        (the API layer builds one per call).  Built here when omitted
+        (h >= 3); it feeds the decomposition, every component state
+        (via row-selecting subindexes) and the flow builders, so the
+        clique instances of a call are enumerated exactly once.
 
     Returns
     -------
     DensestSubgraphResult whose ``stats`` carry the instrumentation the
     evaluation figures need: per-iteration flow-network sizes
-    (Figure 9), decomposition vs total time (Table 3).
+    (Figure 9), decomposition vs total time (Table 3), and the
+    enumeration/flow wall-clock split.
     """
     check_flow_engine(flow_engine)
     n = graph.num_vertices
@@ -187,14 +190,28 @@ def core_exact_densest(
     if h < 2:
         raise ValueError("h must be >= 2")
 
+    if h >= 3 and index is None:
+        index = CliqueIndex(graph, h)
+    enum_seconds = time.perf_counter() - start
+
     if decomposition is None:
-        decomposition = clique_core_decomposition(graph, h)
+        decomposition = clique_core_decomposition(graph, h, index=index)
+    # Algorithm-3 cost as the paper accounts it (Table 3): instance
+    # enumeration + peel.  ``enumeration_seconds`` is the subset spent
+    # building the index, so ``decomposition_seconds -
+    # enumeration_seconds`` is the pure peel share.
     decomp_seconds = time.perf_counter() - start
 
     kmax = decomposition.kmax
     if kmax == 0:
         return DensestSubgraphResult(
-            set(graph.vertices()), 0.0, "CoreExact", stats={"decomposition_seconds": decomp_seconds}
+            set(graph.vertices()),
+            0.0,
+            "CoreExact",
+            stats={
+                "decomposition_seconds": decomp_seconds,
+                "enumeration_seconds": enum_seconds,
+            },
         )
 
     # --- bounds and location core (optimisations 1 + Pruning1/2) ------
@@ -207,15 +224,22 @@ def core_exact_densest(
             low = decomposition.best_residual_density
         k_locate = max(k_locate, math.ceil(low))
 
+    def component_states(located_graph: Graph) -> list[_ComponentState]:
+        """One state per connected component, clique rows sliced from
+        the call-level index (no per-component re-enumeration)."""
+        states = []
+        for cc in located_graph.connected_components():
+            sub = located_graph.subgraph(cc)
+            sub_index = index.subindex(sub) if index is not None else None
+            states.append(_ComponentState(sub, h, flow_engine, index=sub_index))
+        return states
+
     core_vertices = {v for v, c in decomposition.core.items() if c >= k_locate}
     located = graph.subgraph(core_vertices)
-    # Component states cache the clique material *and* the α-parametric
-    # network; building them up front lets Pruning2 reuse the h-clique
-    # lists instead of re-enumerating every component.
-    comp_states = [
-        _ComponentState(located.subgraph(cc), h, flow_engine)
-        for cc in located.connected_components()
-    ]
+    # Component states slice the clique index *and* cache the
+    # α-parametric network; building them up front lets Pruning2 read
+    # per-component densities straight off the row counts.
+    comp_states = component_states(located)
 
     if pruning2:
         rho2 = 0.0
@@ -231,17 +255,15 @@ def core_exact_densest(
             k_locate = math.ceil(rho2)
             core_vertices = {v for v, c in decomposition.core.items() if c >= k_locate}
             located = graph.subgraph(core_vertices)
-            comp_states = [
-                _ComponentState(located.subgraph(cc), h, flow_engine)
-                for cc in located.connected_components()
-            ]
+            comp_states = component_states(located)
 
     iterations = 0
     network_sizes: list[int] = []
     candidate: Optional[set[Vertex]] = None
+    flow_start = time.perf_counter()
     # Densities already known from the decomposition and the component
     # states seed the cache, so the finalists below rarely trigger a
-    # fresh clique enumeration.
+    # fresh row count.
     density_cache: dict[frozenset, float] = {
         frozenset(decomposition.best_residual_vertices): decomposition.best_residual_density
     }
@@ -252,8 +274,51 @@ def core_exact_densest(
         key = frozenset(vertices)
         found = density_cache.get(key)
         if found is None:
-            found = density_cache[key] = _subgraph_density(graph, vertices, h)
+            found = density_cache[key] = _subgraph_density(graph, vertices, h, index)
         return found
+
+    def core_shrink(state: _ComponentState, level: float) -> _ComponentState:
+        """Intersect the component with the (⌈level⌉, Ψ)-core (Lemma 7)."""
+        need = math.ceil(level)
+        keep = {v for v in state.graph if decomposition.core.get(v, 0) >= need}
+        if len(keep) < state.num_vertices:
+            state = state.shrink(keep)
+        return state
+
+    def ggt_newton_walk(state: _ComponentState, low: float):
+        """Discrete-Newton breakpoint walk with mid-search core shrinks.
+
+        The per-component half of :meth:`ParametricNetwork.max_density`,
+        lifted here so that every time the walk raises α past the next
+        integer, the component is re-intersected with the (⌈α⌉, Ψ)-core
+        (exactly the shrink the binary search performs on line 16) and
+        the remaining hops run on a smaller network.  Sound for the
+        same reason (Lemma 7): each iterate α is the exact density of a
+        real subgraph, hence a valid lower bound, and any denser
+        subgraph has all its clique-core numbers >= ⌈α⌉.  Returns
+        ``(cut, ρ, solves, state)``.
+        """
+        best: Optional[set[Vertex]] = None
+        best_rho = low
+        alpha = low
+        solves = 0
+        while True:
+            cut = state.solve(alpha)
+            solves += 1
+            network_sizes.append(state.network_nodes)
+            if not cut:
+                break
+            rho = state.density_of(cut)
+            if best is None or rho > best_rho:
+                best, best_rho = cut, rho
+            if rho <= alpha:
+                break  # float-exact optimum: the cut re-certifies itself
+            if math.ceil(rho) > math.ceil(alpha):
+                state = core_shrink(state, rho)
+                if state.num_vertices == 0:
+                    break
+            alpha = rho
+        return best, best_rho, solves, state
 
     for state in sorted(comp_states, key=lambda s: -s.num_vertices):
         # The upper bound must be per-component: infeasibility inside one
@@ -264,9 +329,7 @@ def core_exact_densest(
         # line 6: if the global lower bound outgrew this core level,
         # intersect the component with the (⌈l⌉, Ψ)-core.
         if low > k_locate:
-            keep = {v for v in state.graph if decomposition.core.get(v, 0) >= math.ceil(low)}
-            if len(keep) < state.num_vertices:
-                state = _ComponentState(state.graph.subgraph(keep), h, flow_engine)
+            state = core_shrink(state, low)
         if state.num_vertices == 0:
             continue
 
@@ -275,9 +338,8 @@ def core_exact_densest(
             # Newton walk starts at the global lower bound l (solving at
             # l IS the feasibility probe) and ends at the component's
             # exact optimal density, raising l for later components.
-            cut, rho, solves = state.solve_max_density(low)
+            cut, rho, solves, state = ggt_newton_walk(state, low)
             iterations += solves
-            network_sizes.extend([state.network_nodes] * solves)
             if not cut:
                 continue
             density_cache.setdefault(frozenset(cut), rho)
@@ -312,11 +374,7 @@ def core_exact_densest(
                 high = alpha
             else:
                 if alpha > math.ceil(low):
-                    keep = {
-                        v for v in state.graph if decomposition.core.get(v, 0) >= math.ceil(alpha)
-                    }
-                    if len(keep) < state.num_vertices:
-                        state = _ComponentState(state.graph.subgraph(keep), h, flow_engine)
+                    state = core_shrink(state, alpha)
                 low = alpha
                 candidate_local = cut_vertices
                 state.checkpoint()
@@ -340,6 +398,8 @@ def core_exact_densest(
         stats={
             "network_sizes": network_sizes,
             "decomposition_seconds": decomp_seconds,
+            "enumeration_seconds": enum_seconds,
+            "flow_seconds": time.perf_counter() - flow_start,
             "total_seconds": total_seconds,
             "kmax": kmax,
             "k_locate": k_locate,

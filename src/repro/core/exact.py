@@ -10,10 +10,11 @@ implementation that CoreExact must beat.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..cliques.enumeration import clique_degrees, enumerate_cliques
+from ..cliques.index import CliqueIndex
 from ..flow import dinic
 from ..flow.builders import (
     build_cds_network,
@@ -25,13 +26,13 @@ from ..flow.builders import (
 from ..graph.graph import Graph, Vertex
 
 #: Valid values for the ``flow_engine`` knob of the exact algorithms:
-#: ``"ggt"`` walks the min-cut breakpoints of one α-parametric network
-#: (discrete Newton; no binary search, a handful of warm solves);
-#: ``"reuse"`` runs the classical binary search but re-solves one
-#: α-parametric network, rewriting only the sink capacities;
-#: ``"rebuild"`` reconstructs a fresh network every iteration (the
-#: pre-parametric behaviour; both non-GGT engines are kept for the
-#: three-way ablation bench).
+#: ``"ggt"`` (the default) walks the min-cut breakpoints of one
+#: α-parametric network (discrete Newton; no binary search, a handful
+#: of warm solves); ``"reuse"`` runs the classical binary search but
+#: re-solves one α-parametric network, rewriting only the sink
+#: capacities; ``"rebuild"`` reconstructs a fresh network every
+#: iteration (the pre-parametric behaviour; both non-GGT engines are
+#: kept for the three-way ablation bench).
 FLOW_ENGINES = ("ggt", "reuse", "rebuild")
 
 
@@ -73,18 +74,25 @@ class DensestSubgraphResult:
         return len(self.vertices)
 
 
-def _best_subgraph_density(graph: Graph, vertices: set[Vertex], h: int) -> float:
-    sub = graph.subgraph(vertices)
-    if sub.num_vertices == 0:
+def _best_subgraph_density(graph: Graph, vertices: set[Vertex], h: int, index=None) -> float:
+    if not vertices:
         return 0.0
-    count = sum(1 for _ in enumerate_cliques(sub, h))
-    return count / sub.num_vertices
+    if index is not None:
+        return index.density_within(vertices)
+    if h == 2:
+        sub = graph.subgraph(vertices)
+        return sub.num_edges / sub.num_vertices if sub.num_vertices else 0.0
+    return CliqueIndex(graph.subgraph(vertices), h).m / len(vertices)
 
 
 def exact_densest(
-    graph: Graph, h: int = 2, *, flow_engine: str = "reuse"
+    graph: Graph,
+    h: int = 2,
+    *,
+    flow_engine: str = "ggt",
+    index: Optional[CliqueIndex] = None,
 ) -> DensestSubgraphResult:
-    """Algorithm 1: exact CDS via binary search + min cut on the full graph.
+    """Algorithm 1: exact CDS via parametric min cuts on the full graph.
 
     Parameters
     ----------
@@ -93,23 +101,29 @@ def exact_densest(
     h:
         Clique size of Ψ (h = 2 gives the classical EDS).
     flow_engine:
-        ``"ggt"`` replaces the binary search with a breakpoint walk on
-        one α-parametric network (a handful of warm max-flow solves);
-        ``"reuse"`` (default) solves every binary-search iteration on
-        one α-parametric network; ``"rebuild"`` reconstructs the network
-        per iteration (pre-parametric behaviour, for the ablation).
-        All three return bit-identical vertex sets and densities.
+        ``"ggt"`` (default) replaces the binary search with a
+        breakpoint walk on one α-parametric network (a handful of warm
+        max-flow solves); ``"reuse"`` solves every binary-search
+        iteration on one α-parametric network; ``"rebuild"``
+        reconstructs the network per iteration (pre-parametric
+        behaviour, for the ablation).  All three return bit-identical
+        vertex sets and densities.
+    index:
+        Optional pre-built, unpeeled :class:`CliqueIndex` of
+        ``graph`` for this ``h`` (the API layer builds one per call and
+        threads it through).  Built here when omitted (h >= 3).
 
     Returns
     -------
     DensestSubgraphResult with the optimum h-clique-density subgraph.
     For a graph with no Ψ instance, the whole vertex set at density 0.
+    ``stats`` records the enumeration/flow wall-clock split.
 
     Notes
     -----
-    The search stops when ``u - l < 1/(n(n-1))``: two distinct subgraph
-    densities differ by at least that much (Lemma 12), so the last
-    feasible cut is the optimum.
+    The binary search stops when ``u - l < 1/(n(n-1))``: two distinct
+    subgraph densities differ by at least that much (Lemma 12), so the
+    last feasible cut is the optimum.
     """
     check_flow_engine(flow_engine)
     n = graph.num_vertices
@@ -118,40 +132,50 @@ def exact_densest(
     if h < 2:
         raise ValueError("h must be >= 2")
 
-    degrees = clique_degrees(graph, h)
+    enum_start = time.perf_counter()
+    if h >= 3 and index is None:
+        index = CliqueIndex(graph, h)
+    if h == 2:
+        degrees = {v: graph.degree(v) for v in graph}
+    else:
+        degrees = index.initial_degrees()
+    enum_seconds = time.perf_counter() - enum_start
+
     upper = max(degrees.values(), default=0)
     if upper == 0:
-        return DensestSubgraphResult(set(graph.vertices()), 0.0, "Exact")
+        return DensestSubgraphResult(
+            set(graph.vertices()), 0.0, "Exact", stats={"enumeration_seconds": enum_seconds}
+        )
 
-    h_cliques = list(enumerate_cliques(graph, h)) if h >= 3 else None
-    sub_cliques = list(enumerate_cliques(graph, h - 1)) if h >= 3 else None
-
+    flow_start = time.perf_counter()
     net = None
     if flow_engine in ("reuse", "ggt"):
         if h == 2:
             net = build_eds_parametric(graph)
         else:
-            net = build_cds_parametric(
-                graph, h, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
-            )
+            net = build_cds_parametric(graph, h, index=index)
 
     if flow_engine == "ggt":
         if h == 2:
             density_of = lambda s: graph.subgraph(s).num_edges / len(s)
         else:
-            density_of = lambda s: sum(1 for inst in h_cliques if s.issuperset(inst)) / len(s)
+            density_of = index.density_within
         cut, rho, solves = net.max_density(density_of, low=0.0)
         if cut:
             best, density = cut, rho  # ρ is the exact count/size ratio
         else:
             best = set(graph.vertices())
-            density = _best_subgraph_density(graph, best, h)
+            density = _best_subgraph_density(graph, best, h, index)
         return DensestSubgraphResult(
             vertices=best,
             density=density,
             method="Exact",
             iterations=solves,
-            stats={"network_sizes": [net.num_nodes] * solves},
+            stats={
+                "network_sizes": [net.num_nodes] * solves,
+                "enumeration_seconds": enum_seconds,
+                "flow_seconds": time.perf_counter() - flow_start,
+            },
         )
 
     low, high = 0.0, float(upper)
@@ -170,9 +194,7 @@ def exact_densest(
             if h == 2:
                 network = build_eds_network(graph, alpha)
             else:
-                network = build_cds_network(
-                    graph, h, alpha, h_cliques=h_cliques, sub_cliques=sub_cliques, degrees=degrees
-                )
+                network = build_cds_network(graph, h, alpha, index=index)
             network_sizes.append(network.num_nodes)
             dinic.max_flow(network)
             cut_vertices = vertices_of_cut(network.min_cut_source_side())
@@ -188,11 +210,15 @@ def exact_densest(
         # ρ_opt below the first guess resolution: densest is the max-degree
         # vertex's best trivial subgraph; fall back to the whole graph.
         best = set(graph.vertices())
-    density = _best_subgraph_density(graph, best, h)
+    density = _best_subgraph_density(graph, best, h, index)
     return DensestSubgraphResult(
         vertices=best,
         density=density,
         method="Exact",
         iterations=iterations,
-        stats={"network_sizes": network_sizes},
+        stats={
+            "network_sizes": network_sizes,
+            "enumeration_seconds": enum_seconds,
+            "flow_seconds": time.perf_counter() - flow_start,
+        },
     )

@@ -9,7 +9,7 @@ without touching low cores.
 
 from __future__ import annotations
 
-from ..cliques.enumeration import CliqueIndex, count_cliques
+from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph
 from .clique_core import clique_core_decomposition
 from .exact import DensestSubgraphResult
@@ -19,16 +19,21 @@ def inc_app_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) 
     """Algorithm 5: return the (kmax, Ψ)-core of ``graph``.
 
     For a graph with no Ψ instance, the full vertex set at density 0.
+    The instance index is built once (or passed in by the caller) and
+    serves both the decomposition and the final core's density -- a
+    row-subset count instead of a re-enumeration of the core subgraph.
     """
     if h < 2:
         raise ValueError("h must be >= 2")
     if graph.num_vertices == 0:
         return DensestSubgraphResult(set(), 0.0, "IncApp")
+    if index is None:
+        index = CliqueIndex(graph, h)
     result = clique_core_decomposition(graph, h, index=index)
     core = result.kmax_core(graph)
     if core.num_vertices == 0:
         return DensestSubgraphResult(set(graph.vertices()), 0.0, "IncApp")
-    density = count_cliques(core, h) / core.num_vertices
+    density = index.count_within(set(core.vertices())) / core.num_vertices
     return DensestSubgraphResult(
         vertices=set(core.vertices()),
         density=density,

@@ -66,14 +66,14 @@ def _density_of(graph: Graph, vertices: set[Vertex], pattern: Pattern) -> float:
 
 
 def p_exact_densest(
-    graph: Graph, pattern: Pattern, *, flow_engine: str = "reuse"
+    graph: Graph, pattern: Pattern, *, flow_engine: str = "ggt"
 ) -> DensestSubgraphResult:
     """Algorithm 8 (PExact): exact PDS on the full graph.
 
     One flow node per pattern instance; arcs ``v -> ψ`` capacity 1 and
-    ``ψ -> v`` capacity ``|V_Ψ| - 1``.  With the default ``"reuse"``
-    engine the network is built once and only the α-dependent sink
-    capacities change across the binary search.
+    ``ψ -> v`` capacity ``|V_Ψ| - 1``.  The default ``"ggt"`` engine
+    walks the min-cut breakpoints of one α-parametric network; the
+    binary-search engines re-solve ("reuse") or rebuild ("rebuild") it.
     """
     check_flow_engine(flow_engine)
     n = graph.num_vertices
@@ -145,7 +145,7 @@ def p_exact_densest(
 class _PatternComponentState:
     """A component plus its pattern instances, rebuilt on each shrink.
 
-    With the ``"reuse"`` engine the grouped ``construct+`` network is
+    With the parametric engines the grouped ``construct+`` network is
     built once per shrink as an α-parametric network and re-solved.
     """
 
@@ -154,7 +154,7 @@ class _PatternComponentState:
         graph: Graph,
         pattern: Pattern,
         instances: Sequence[frozenset],
-        flow_engine: str = "reuse",
+        flow_engine: str = "ggt",
     ):
         self.graph = graph
         self.pattern = pattern
@@ -225,7 +225,7 @@ def core_p_exact_densest(
     pattern: Pattern,
     *,
     decomposition: Optional[CliqueCoreResult] = None,
-    flow_engine: str = "reuse",
+    flow_engine: str = "ggt",
 ) -> DensestSubgraphResult:
     """CorePExact: exact PDS with pattern-core location and ``construct+``.
 

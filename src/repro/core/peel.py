@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
-from ..cliques.enumeration import CliqueIndex
+from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
 from .exact import DensestSubgraphResult
 
@@ -33,39 +33,42 @@ def min_degree_peel(
     entries are skipped on pop.  The rank tie-break makes the peel
     order a pure function of the graph -- reproducible under
     string-hash randomisation, and exactly replicable by a naive
-    min-scan with the same key (which is how the tests pin it).  Yields
-    ``(removed, alive, num_alive_instances)`` after each removal, down
-    to a single remaining vertex; ``alive`` is the live set mutated in
-    place -- copy it to keep a snapshot.  ``index`` is consumed.
+    min-scan with the same key (which is how the tests pin it).  The
+    heap works directly over the index's internal vertex ids (which
+    follow graph-iteration order, so id == rank) and degree updates
+    walk the flat incidence arrays.  Yields ``(removed, alive,
+    num_alive_instances)`` after each removal, down to a single
+    remaining vertex; ``alive`` is the live set mutated in place --
+    copy it to keep a snapshot.  ``index`` is consumed.
     """
-    degree = index.degrees()
-    order = list(graph.vertices())
-    rank = {v: i for i, v in enumerate(order)}
-    heap = [(degree[v], r) for r, v in enumerate(order)]
+    labels = index.vertices
+    n = graph.num_vertices  # labels[:n] are the graph's vertices in rank order
+    degrees = index.degrees()
+    deg = [degrees[v] for v in labels]
+    heap = [(deg[i], i) for i in range(n)]
     heapq.heapify(heap)
 
-    alive = set(order)
-    removed: set[Vertex] = set()
+    alive = set(labels[:n])
+    removed = bytearray(len(labels))
     push = heapq.heappush
     pop = heapq.heappop
-    for _ in range(graph.num_vertices - 1):
-        v = None
+    for _ in range(n - 1):
+        vid = -1
         while heap:
-            d, r = pop(heap)
-            u = order[r]
-            if u not in removed and degree[u] == d:
-                v = u
+            d, i = pop(heap)
+            if not removed[i] and deg[i] == d:
+                vid = i
                 break
-        if v is None:
+        if vid < 0:
             break
-        removed.add(v)
-        alive.discard(v)
-        for killed in index.peel_vertex(v):
-            for u in killed:
-                if u not in removed:
-                    degree[u] -= 1
-                    push(heap, (degree[u], rank[u]))
-        yield v, alive, index.num_alive
+        removed[vid] = 1
+        alive.discard(labels[vid])
+        for uid in index.peel_vertex_ids(vid):
+            if not removed[uid]:
+                deg[uid] -= 1
+                if uid < n:
+                    push(heap, (deg[uid], uid))
+        yield labels[vid], alive, index.num_alive
 
 
 def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> DensestSubgraphResult:
@@ -92,7 +95,12 @@ def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> 
     if index is None:
         index = CliqueIndex(graph, h)
 
-    if max(index.degrees().values(), default=0) == 0:
+    max_degree = (
+        max(index.base_degree, default=0)
+        if index.num_alive == index.m
+        else max(index.degrees().values(), default=0)
+    )
+    if max_degree == 0:
         return DensestSubgraphResult(set(graph.vertices()), 0.0, "PeelApp")
 
     best_density = index.num_alive / n

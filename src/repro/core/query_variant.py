@@ -48,18 +48,19 @@ def anchored_core(graph: Graph, anchors: set[Vertex], k: int) -> Graph:
 
 
 def query_densest(
-    graph: Graph, query: Iterable[Vertex], *, flow_engine: str = "reuse"
+    graph: Graph, query: Iterable[Vertex], *, flow_engine: str = "ggt"
 ) -> DensestSubgraphResult:
     """Densest (edge-density) subgraph containing every query vertex.
 
     Binary search over α on a Goldberg network restricted to the
     anchored core, with infinite source arcs pinning the query vertices
-    to the source side of every cut.  With the default ``"reuse"``
-    engine the anchored network is α-parametric and only rebuilt when
-    the anchored core shrinks; ``flow_engine="ggt"`` replaces the
-    binary search with the discrete-Newton breakpoint walk (each α
-    guess is the exact density of the previous cut), identical results
-    in far fewer max-flow solves.
+    to the source side of every cut.  The default ``"ggt"`` engine
+    replaces the binary search with the discrete-Newton breakpoint
+    walk (each α guess is the exact density of the previous cut);
+    ``"reuse"`` keeps the binary search on one α-parametric anchored
+    network, rebuilt only when the anchored core shrinks, and
+    ``"rebuild"`` reconstructs it per iteration -- identical results,
+    the GGT walk in far fewer max-flow solves.
 
     Raises
     ------

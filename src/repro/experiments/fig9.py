@@ -9,17 +9,24 @@ binary search tightens the lower bound.
 
 from __future__ import annotations
 
-from ..cliques.enumeration import count_cliques
+from ..cliques.index import CliqueIndex
 from ..core.core_exact import core_exact_densest
 from ..datasets.registry import load
 from ..graph.graph import Graph
 
 
 def _full_network_size(graph: Graph, h: int) -> int:
-    """Node count of the Algorithm-1 network on the whole graph."""
+    """Node count of the Algorithm-1 network on the whole graph.
+
+    Matches the index-driven builders: an (h-1)-clique only becomes a
+    node if some h-clique covers it (uncovered ones cannot carry flow
+    and are never created).
+    """
     if h == 2:
         return graph.num_vertices + 2
-    return graph.num_vertices + count_cliques(graph, h - 1) + 2
+    index = CliqueIndex(graph, h)
+    covered = {psi for _, psi in index.member_subsets()}
+    return graph.num_vertices + len(covered) + 2
 
 
 def run(

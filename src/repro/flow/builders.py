@@ -29,7 +29,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Mapping, Optional, Sequence
 
-from ..cliques.enumeration import clique_degrees, enumerate_cliques
+from ..cliques.enumeration import enumerate_cliques
+from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
 from .network import FlowNetwork
 from .parametric import ParametricNetwork
@@ -79,6 +80,7 @@ def build_cds_network(
     h_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
     sub_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
     degrees: Optional[Mapping[Vertex, int]] = None,
+    index: Optional[CliqueIndex] = None,
 ) -> FlowNetwork:
     """Algorithm 1 network for the h-clique Ψ (h >= 3) and guess ``alpha``.
 
@@ -89,9 +91,18 @@ def build_cds_network(
         and clique-degrees; recomputed when omitted.  CoreExact passes
         them in so each binary-search iteration only pays network
         assembly, not clique enumeration.
+    index:
+        Alternatively a :class:`CliqueIndex` of ``graph``: the network
+        is assembled straight from the instance rows (the (h-1)-clique
+        nodes are the rows' member subsets, so uncovered (h-1)-cliques
+        -- isolated nodes that cannot carry flow -- are never created
+        and no (h-1)-enumeration happens at all).  Min cuts are
+        identical either way.
     """
     if h < 3:
         raise ValueError("use build_eds_network for h == 2")
+    if index is not None:
+        return _cds_network_from_index(index, h, alpha)
     if h_cliques is None:
         h_cliques = list(enumerate_cliques(graph, h))
     if sub_cliques is None:
@@ -121,6 +132,25 @@ def build_cds_network(
             idx = psi_id.get(members - {v})
             if idx is not None:
                 net.add_arc(_vertex_node(v), _instance_node(idx), 1.0)
+    return net
+
+
+def _cds_network_from_index(index: CliqueIndex, h: int, alpha: float) -> FlowNetwork:
+    """Algorithm-1 :class:`FlowNetwork` straight from the instance rows."""
+    labels = index.vertices
+    net = FlowNetwork(SOURCE, SINK)
+    for i, v in enumerate(labels):
+        net.add_arc(SOURCE, _vertex_node(v), float(index.base_degree[i]))
+        net.add_arc(_vertex_node(v), SINK, alpha * h)
+    psi_id: dict[tuple[int, ...], int] = {}
+    for vid, psi in index.member_subsets():
+        idx = psi_id.get(psi)
+        if idx is None:
+            idx = psi_id[psi] = len(psi_id)
+            node = _instance_node(idx)
+            for uid in psi:
+                net.add_arc(node, _vertex_node(labels[uid]), INF)
+        net.add_arc(_vertex_node(labels[vid]), _instance_node(idx), 1.0)
     return net
 
 
@@ -243,10 +273,22 @@ def build_cds_parametric(
     h_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
     sub_cliques: Optional[Sequence[tuple[Vertex, ...]]] = None,
     degrees: Optional[Mapping[Vertex, int]] = None,
+    index: Optional[CliqueIndex] = None,
 ) -> ParametricNetwork:
-    """Parametric Algorithm-1 network (h >= 3): sink caps ``α·h``."""
+    """Parametric Algorithm-1 network (h >= 3): sink caps ``α·h``.
+
+    When ``index`` is given the arc arrays are emitted directly from
+    the flat instance rows: vertex ids are the index's internal ids,
+    source capacities are the precomputed clique-degrees, and the
+    (h-1)-clique nodes are allocated on first encounter while walking
+    the rows -- no tuple or frozenset materialisation, and no (h-1)
+    enumeration (uncovered (h-1)-cliques cannot carry flow, so
+    omitting their nodes leaves every min cut unchanged).
+    """
     if h < 3:
         raise ValueError("use build_eds_parametric for h == 2")
+    if index is not None:
+        return _cds_parametric_from_index(index, h)
     if h_cliques is None:
         h_cliques = list(enumerate_cliques(graph, h))
     if sub_cliques is None:
@@ -279,6 +321,27 @@ def build_cds_parametric(
             node = get_psi(members - {v})
             if node is not None:
                 ha(node), ca(1.0), ha(index[v]), ca(0.0)
+    return asm.build()
+
+
+def _cds_parametric_from_index(index: CliqueIndex, h: int) -> ParametricNetwork:
+    """Parametric Algorithm-1 arc arrays straight from the instance rows."""
+    asm = _ParametricAssembler(index.vertices)
+    degree = index.base_degree
+    for i in range(len(asm.vertices)):
+        src = asm.arc(asm.source, i, float(degree[i]))
+        asm.alpha_arc(i, asm.sink, 0.0, float(h), source_arc=src)
+
+    ha, ca = asm.head.append, asm.cap.append  # inlined asm.arc: hot loops
+    psi_node: dict[tuple[int, ...], int] = {}
+    get_psi = psi_node.get
+    for vid, psi in index.member_subsets():
+        node = get_psi(psi)
+        if node is None:
+            node = psi_node[psi] = asm.aux_node()
+            for uid in psi:
+                ha(uid), ca(INF), ha(node), ca(0.0)
+        ha(node), ca(1.0), ha(vid), ca(0.0)
     return asm.build()
 
 

@@ -18,12 +18,17 @@ ops, which beats the scalar queue on the shallow DSD networks.
 
 from __future__ import annotations
 
+import os
+
 from .network import EPS
 
-try:  # optional: the scalar BFS is used when numpy is absent
-    import numpy as np
-except ImportError:  # pragma: no cover - environment-specific
+if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
+else:
+    try:  # optional: the scalar BFS is used when numpy is absent
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-specific
+        np = None
 
 #: Arc-array length above which the vectorised BFS pays for its
 #: per-call numpy overhead (tuned on the bench surrogates).

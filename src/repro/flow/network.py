@@ -18,12 +18,16 @@ resolution that terminates the search (Lemma 12).
 from __future__ import annotations
 
 import math
+import os
 from typing import Hashable
 
-try:  # numpy accelerates CSR assembly; the flow layer works without it
-    import numpy as np
-except ImportError:  # pragma: no cover - environment-specific
+if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
+else:
+    try:  # numpy accelerates CSR assembly; the flow layer works without it
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-specific
+        np = None
 
 Node = Hashable
 

@@ -302,9 +302,9 @@ class TestEngineKnob:
         result = densest_subgraph(g, 2, method="core-exact", flow_engine="rebuild")
         assert result.stats["flow_engine"] == "rebuild"
         result = densest_subgraph(g, 2, method="core-exact")
+        assert result.stats["flow_engine"] == "ggt"  # the soaked-in default
+        result = densest_subgraph(g, 2, method="core-exact", flow_engine="reuse")
         assert result.stats["flow_engine"] == "reuse"
-        result = densest_subgraph(g, 2, method="core-exact", flow_engine="ggt")
-        assert result.stats["flow_engine"] == "ggt"
 
     def test_unknown_engine_rejected(self):
         g = random_graph(10, 20, 1)
