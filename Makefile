@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-clique-index bench-smoke bench ablation
+.PHONY: test test-clique-index bench-smoke bench ablation bench-accel
 
 test:
 	$(PY) -m pytest -x -q
@@ -30,6 +30,15 @@ bench-smoke:
 bench:
 	$(PY) -m pytest benchmarks -q
 
-# Just the flow-engine ablation (rewrites benchmarks/out/flow_reuse_ablation.json).
+# Just the flow-engine ablation (rewrites benchmarks/out/flow_reuse_ablation.json
+# and the machine-readable perf summary benchmarks/out/BENCH_flow.json, which
+# also records the accel backend tier and the per-tier flow-phase wall times).
 ablation:
 	$(PY) -m pytest benchmarks/bench_ablation_flow_reuse.py -q
+
+# The flow ablation across the three accel dispatch tiers (numba/numpy/
+# python -- the bench sweeps every available tier in-process) at the
+# smoke scale, under the same hard time cap as bench-smoke.
+bench-accel:
+	timeout 900 env REPRO_BENCH_SCALE=0.1 PYTHONPATH=src \
+		python -m pytest benchmarks/bench_ablation_flow_reuse.py -q --benchmark-disable

@@ -24,12 +24,22 @@ Every cell asserts all three engines return identical vertex sets and
 densities, and (h >= 3) that a solver fed a reference-enumerator index
 ("old enumeration") is bit-identical to the kernel-fed run -- the
 ablation is only meaningful if results are unchanged.
+
+PR 5 added the **accel-backend ablation**: the GGT flow phase timed per
+dispatch tier of :mod:`repro.accel` (numba / numpy / python) on
+full-graph parametric networks, written -- together with the engine
+cells, solve counts and the per-cell backend -- to the machine-readable
+``benchmarks/out/BENCH_flow.json`` so the perf trajectory is trackable
+across PRs.  With numba actually jitted the bench asserts a >= 3x
+flow-phase speedup over the numpy tier on at least one non-trivial
+cell; cuts and densities must be identical on every tier regardless.
 """
 
 import json
 import time
 from pathlib import Path
 
+from repro import accel
 from repro.cliques.enumeration import enumerate_cliques
 from repro.cliques.index import CliqueIndex
 from repro.cliques.kernels import have_numpy
@@ -37,10 +47,20 @@ from repro.core.core_exact import core_exact_densest
 from repro.core.exact import exact_densest
 from repro.datasets.registry import dataset_names, load
 from repro.experiments.harness import timed
+from repro.flow.builders import build_cds_parametric, build_eds_parametric
 
 OUT_DIR = Path(__file__).parent / "out"
 
 ENGINES = ("rebuild", "reuse", "ggt")
+
+#: Flow-phase wall-clock (numpy tier) below which a backend cell is too
+#: fast to time reliably; the numba >= 3x claim is only asserted on
+#: cells above it.
+TIER_ASSERT_MIN_SECONDS = 0.005
+
+#: Required numba-vs-numpy flow-phase speedup on at least one
+#: non-trivial cell (the PR's headline acceptance criterion).
+NUMBA_MIN_SPEEDUP = 3.0
 
 #: Cells at or above this many instances take milliseconds to
 #: enumerate, so the numpy-vs-python ratio is timing-noise-robust and
@@ -90,6 +110,7 @@ def _cells(bench_scale):
                     "dataset": name,
                     "algorithm": algorithm,
                     "h": h,
+                    "backend": accel.TIER,
                     "rebuild_s": seconds["rebuild"],
                     "reuse_s": seconds["reuse"],
                     "ggt_s": seconds["ggt"],
@@ -155,6 +176,64 @@ def _cells(bench_scale):
                     row.update(enum_cache[h])
                 rows.append(row)
     return rows
+
+
+def _flow_tier_cells(bench_scale):
+    """Time the GGT flow phase per accel backend tier, per (dataset, h).
+
+    Per cell: build the full-graph parametric network (untimed, it is
+    interpreter work on every tier), run the Newton/GGT breakpoint walk
+    (timed, best of 2) -- the saturating probe solve plus the warm hops,
+    i.e. exactly the compiled hot loops.  Every tier must return the
+    identical cut and density; wall times land in BENCH_flow.json.
+    """
+    tiers = accel.available_tiers()
+    cells = []
+    try:
+        for name in dataset_names("small"):
+            graph = load(name, bench_scale)
+            for h in (2, 3, 4):
+                index = CliqueIndex(graph, h) if h >= 3 else None
+                if h >= 3 and index.m == 0:
+                    continue
+                if h == 2:
+                    density_of = lambda s: graph.subgraph(s).num_edges / len(s)
+                else:
+                    density_of = index.density_within
+
+                def run_walk():
+                    if h == 2:
+                        net = build_eds_parametric(graph)
+                    else:
+                        net = build_cds_parametric(graph, h, index=index)
+                    start = time.perf_counter()
+                    cut, rho, solves = net.max_density(density_of, low=0.0)
+                    return time.perf_counter() - start, cut, rho, solves
+
+                cell = {"dataset": name, "h": h, "flow_solve": {}}
+                reference = None
+                for tier in tiers:
+                    accel.select_tier(tier)
+                    best = float("inf")
+                    for _ in range(2):
+                        seconds, cut, rho, solves = run_walk()
+                        best = min(best, seconds)
+                    if reference is None:
+                        reference = (cut, rho)
+                        cell["density"] = rho
+                        cell["solves"] = solves
+                        cell["cut_size"] = len(cut) if cut else 0
+                    else:  # bit-identity across backend tiers
+                        assert (cut, rho) == reference, (name, h, tier)
+                    cell["flow_solve"][tier] = best
+                if "numba" in cell["flow_solve"] and "numpy" in cell["flow_solve"]:
+                    cell["speedup_numba_vs_numpy"] = cell["flow_solve"]["numpy"] / max(
+                        cell["flow_solve"]["numba"], 1e-9
+                    )
+                cells.append(cell)
+    finally:
+        accel.select_tier(None)
+    return tiers, cells
 
 
 def test_flow_reuse_ablation(benchmark, emit, bench_scale):
@@ -240,6 +319,65 @@ def test_flow_reuse_ablation(benchmark, emit, bench_scale):
             )
     if enum_cells:
         assert aggregates["enumeration"]["speedup"] >= 2.0
+
+    # --- accel-backend ablation: the flow phase per dispatch tier -----
+    tiers, tier_cells = _flow_tier_cells(bench_scale)
+    tier_totals = {
+        tier: sum(c["flow_solve"][tier] for c in tier_cells) for tier in tiers
+    }
+    flow_payload = {
+        "bench_scale": bench_scale,
+        "backend_default": accel.TIER,
+        "numba_jitted": accel.NUMBA_JITTED,
+        "tiers": list(tiers),
+        "kernel_tiers": accel.kernel_tiers(),
+        "engine_cells": rows,
+        "flow_tier_cells": tier_cells,
+        "aggregates": {
+            "flow_solve_totals": tier_totals,
+            "engine": aggregates,
+        },
+        "results_identical_across_tiers": True,  # asserted per cell above
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_flow.json").write_text(
+        json.dumps(flow_payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit(
+        "bench_flow_tiers",
+        [
+            {
+                "dataset": c["dataset"],
+                "h": c["h"],
+                "solves": c["solves"],
+                **{f"{tier}_s": c["flow_solve"][tier] for tier in tiers},
+                **(
+                    {"numba_speedup": c["speedup_numba_vs_numpy"]}
+                    if "speedup_numba_vs_numpy" in c
+                    else {}
+                ),
+            }
+            for c in tier_cells
+        ],
+        "Flow-phase wall time per accel backend tier (GGT walk, full-graph "
+        f"networks; default backend: {accel.TIER}"
+        + (", numba jitted" if accel.NUMBA_JITTED else ", numba unavailable")
+        + ")",
+    )
+
+    # the compiled tier's headline: with numba actually jitted, the flow
+    # phase of at least one non-trivial cell runs >= 3x faster than the
+    # numpy tier (the DFS/discharge loops leave the interpreter)
+    if accel.NUMBA_JITTED:
+        eligible = [
+            c for c in tier_cells
+            if c["flow_solve"].get("numpy", 0.0) >= TIER_ASSERT_MIN_SECONDS
+        ]
+        assert eligible, "no cell large enough to assert the numba speedup"
+        best = max(c["speedup_numba_vs_numpy"] for c in eligible)
+        assert best >= NUMBA_MIN_SPEEDUP, [
+            (c["dataset"], c["h"], c["speedup_numba_vs_numpy"]) for c in eligible
+        ]
 
     graph = load("Yeast", bench_scale)
     result = benchmark(core_exact_densest, graph, 2, flow_engine="ggt")

@@ -1,0 +1,320 @@
+"""Three-tier acceleration backend for the flow and peel hot loops.
+
+The scalar hot loops of this package -- Dinic's blocking-flow DFS, the
+push-relabel discharge loop, the GGT retreat drains, and the two peel
+engines -- all dispatch through the kernel registry in this module
+instead of branching locally.  Three tiers, fastest first:
+
+* **numba** -- the loops from :mod:`repro.accel.kernels`, compiled to
+  native code with ``numba.njit``.  Selected automatically when numba
+  is importable; the wrappers convert the engines' plain-list arc
+  arrays to numpy arrays per call (O(E) each way, far below the solve
+  work they bracket) and write residual capacities back, so the
+  surrounding machinery (warm starts, checkpoints, cut extraction)
+  never sees an array type change.
+* **numpy** -- :mod:`repro.accel.vector`: the vectorised phases
+  (Dinic's arc-parallel BFS) plus the pure loops for everything
+  sequential.  Selected when numpy is importable but numba is not.
+* **python** -- :mod:`repro.accel.pure`: dependency-free reference
+  implementations.  Always available.
+
+Every tier produces bit-identical results -- residual floats included
+-- because the higher tiers are literal translations of the pure loops
+(same traversal order, same IEEE-double operation order); the dispatch
+property suite (``tests/test_accel_dispatch.py``) asserts it on the
+random network/graph matrices.
+
+**Selection** happens once at import:
+
+* ``REPRO_NO_NUMPY=1`` forces the python tier (and, as everywhere else
+  in this package, disables numpy outright);
+* ``REPRO_NO_NUMBA=1`` disables just the numba tier;
+* ``REPRO_NUMBA_INTERP=1`` selects the numba tier with the kernels run
+  *interpreted* when numba itself is missing -- slow, but byte-for-byte
+  the code the JIT would compile, which is how CI pins the numba tier's
+  bit-identity without installing numba.
+
+Tests and the ablation bench can rebuild the registry at runtime with
+:func:`select_tier`; ``select_tier(None)`` restores the import-time
+default.
+
+**Warm-up / compile cache.**  Numba compiles each kernel lazily on its
+first call (a few seconds per kernel, once per process).  Two
+mitigations: ``njit(cache=True)`` persists the compiled machine code
+under ``NUMBA_CACHE_DIR`` (CI caches that directory, so only the first
+run after a kernel edit pays the compile), and :func:`warm_up` runs
+every kernel on a two-node toy network so a serving process can front-
+load the compilation (or a CI job can fail fast on a typing error)
+before real traffic arrives.  ``fastmath`` stays off: it would license
+float reassociation and break bit-identity with the other tiers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import pure, vector
+
+if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-specific
+        np = None
+
+numba = None
+if np is not None and not os.environ.get("REPRO_NO_NUMBA"):
+    try:
+        import numba  # type: ignore[no-redef]
+    except ImportError:  # expected: numba is an optional extra
+        numba = None
+
+#: Whether the numba tier is actually compiled (vs interpreted).
+NUMBA_JITTED = numba is not None
+
+if np is not None:
+    from . import kernels as _kernels
+
+    # kernels.py keeps EPS as a literal (numba freezes module globals
+    # into compiled code), so pin it against the canonical constant
+    # here: drift would silently break cross-tier bit-identity.
+    assert _kernels.EPS == pure.EPS, "accel.kernels.EPS drifted from flow.network.EPS"
+else:  # kernels.py needs numpy at import; the python tier never uses it
+    _kernels = None
+
+_JITTED: dict | None = None
+
+
+def _jitted_kernels() -> dict:
+    """Compile (lazily, once) every kernel with ``numba.njit``."""
+    global _JITTED
+    if _JITTED is None:
+        jit = numba.njit(cache=True)
+        _JITTED = {name: jit(getattr(_kernels, name)) for name in _kernels.KERNEL_NAMES}
+    return _JITTED
+
+
+# --- numba-tier wrappers: list <-> array conversion at the boundary ---
+
+
+def _i8(x):
+    return np.asarray(x, dtype=np.int64)
+
+
+def _f8(x):
+    return np.asarray(x, dtype=np.float64)
+
+
+def _wrap_max_flow(kfn):
+    def run(source, sink, head, cap, adj_start, adj_arcs):
+        cap_a = np.array(cap, dtype=np.float64)
+        total = kfn(source, sink, _i8(head), cap_a, _i8(adj_start), _i8(adj_arcs))
+        cap[:] = cap_a.tolist()
+        return float(total)
+
+    return run
+
+
+def _wrap_ggt_retreat(kfn):
+    def run(head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
+            num_nodes, source, alpha):
+        cap_a = np.array(cap, dtype=np.float64)
+        kfn(
+            _i8(head), cap_a, _f8(base_cap), _i8(adj_start), _i8(adj_arcs),
+            _i8(alpha_arcs), _f8(alpha_coeff), num_nodes, source, alpha,
+        )
+        cap[:] = cap_a.tolist()
+
+    return run
+
+
+def _wrap_bucket_peel(kfn):
+    def run(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):
+        core, order, best_removed, best_density = kfn(
+            _i8(inst), _i8(inc_start), _i8(inc_ids), _i8(deg),
+            np.frombuffer(alive, dtype=np.uint8),
+            np.frombuffer(in_graph, dtype=np.uint8),
+            h, n_graph, num_alive,
+        )
+        return core.tolist(), order.tolist(), int(best_removed), float(best_density)
+
+    return run
+
+
+def _wrap_heap_peel(kfn):
+    def run(inst, inc_start, inc_ids, deg, alive, num_alive, n, h):
+        # ``alive`` is the index's own bytearray: frombuffer shares its
+        # memory, so the kernel's kills land directly in the index.
+        cnt, order, num_alive_after, final_alive = kfn(
+            _i8(inst), _i8(inc_start), _i8(inc_ids), _i8(deg),
+            np.frombuffer(alive, dtype=np.uint8), num_alive, n, h,
+        )
+        return order[:cnt].tolist(), num_alive_after[:cnt].tolist(), int(final_alive)
+
+    return run
+
+
+# --- registry -------------------------------------------------------
+
+#: Kernel names every tier must resolve (``heap_peel`` resolves to
+#: ``None`` outside the numba tier: it exists to *replace* the pure
+#: generator in :func:`repro.core.peel.min_degree_peel`, which is its
+#: own reference implementation).
+KERNEL_NAMES = (
+    "dinic", "push_relabel", "ggt_retreat", "ggt_advance", "bucket_peel", "heap_peel",
+)
+
+_impl: dict = {}
+
+#: Resolved tier per kernel name (for tests, stats, and the bench).
+KERNEL_TIERS: dict = {}
+
+#: The selected default tier ("numba" / "numpy" / "python").
+TIER = "python"
+
+
+def available_tiers() -> tuple:
+    """The tiers worth benchmarking on this interpreter, fastest first.
+
+    ``"numba"`` appears only when numba is importable (the interpreted
+    kernels reachable via ``select_tier("numba")`` are a bit-identity
+    testing device, not a performance tier).
+    """
+    tiers = []
+    if NUMBA_JITTED:
+        tiers.append("numba")
+    if np is not None:
+        tiers.append("numpy")
+    tiers.append("python")
+    return tuple(tiers)
+
+
+def _build_registry(tier: str) -> None:
+    base = {
+        "dinic": ("python", pure.dinic_max_flow),
+        "push_relabel": ("python", pure.push_relabel_max_flow),
+        "ggt_retreat": ("python", pure.ggt_retreat),
+        # O(#alpha-arcs) of simple float work: the list<->array
+        # conversion a jitted version would need costs more than the
+        # loop, so the advance stays interpreter-side on every tier.
+        "ggt_advance": ("python", pure.ggt_advance),
+        "bucket_peel": ("python", pure.bucket_peel),
+        "heap_peel": ("python", None),
+    }
+    if tier in ("numpy", "numba"):
+        base["dinic"] = ("numpy", vector.dinic_max_flow)
+    if tier == "numba":
+        kerns = _jitted_kernels() if NUMBA_JITTED else _kernels.__dict__
+        label = "numba" if NUMBA_JITTED else "numba-interp"
+        base["dinic"] = (label, _wrap_max_flow(kerns["dinic_max_flow"]))
+        base["push_relabel"] = (label, _wrap_max_flow(kerns["push_relabel_max_flow"]))
+        base["ggt_retreat"] = (label, _wrap_ggt_retreat(kerns["ggt_retreat"]))
+        base["bucket_peel"] = (label, _wrap_bucket_peel(kerns["bucket_peel"]))
+        base["heap_peel"] = (label, _wrap_heap_peel(kerns["heap_peel"]))
+    _impl.clear()
+    KERNEL_TIERS.clear()
+    for name, (label, fn) in base.items():
+        _impl[name] = fn
+        KERNEL_TIERS[name] = label
+
+
+def select_tier(tier: str | None = None) -> str:
+    """Rebuild the kernel registry for ``tier``; returns the tier set.
+
+    ``None`` restores the import-time default.  ``"numba"`` without
+    numba installed falls back to running the kernels interpreted
+    (requires numpy; bit-identity testing only -- it is *slower* than
+    the pure tier).
+    """
+    global TIER
+    if tier is None:
+        if NUMBA_JITTED:
+            tier = "numba"
+        elif np is not None and os.environ.get("REPRO_NUMBA_INTERP"):
+            tier = "numba"
+        elif np is not None:
+            tier = "numpy"
+        else:
+            tier = "python"
+    if tier not in ("numba", "numpy", "python"):
+        raise ValueError(f"unknown accel tier {tier!r}")
+    if tier in ("numpy", "numba") and np is None:
+        raise RuntimeError(f"accel tier {tier!r} requires numpy (is REPRO_NO_NUMPY set?)")
+    _build_registry(tier)
+    TIER = tier
+    return tier
+
+
+def get(name: str):
+    """The registered implementation for ``name`` (None when the tier
+    has no replacement and the caller's reference loop should run)."""
+    return _impl[name]
+
+
+def kernel_tiers() -> dict:
+    """Copy of the per-kernel resolved-tier map (for stats and tests)."""
+    return dict(KERNEL_TIERS)
+
+
+# --- module-level dispatchers (the API the engines call) ------------
+
+
+def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
+    """Dinic max flow over flat arc arrays (mutates ``cap`` in place)."""
+    return _impl["dinic"](source, sink, head, cap, adj_start, adj_arcs)
+
+
+def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
+    """Highest-label + gap push-relabel (mutates ``cap`` in place)."""
+    return _impl["push_relabel"](source, sink, head, cap, adj_start, adj_arcs)
+
+
+def ggt_retreat(head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
+                num_nodes, source, alpha):
+    """GGT decreasing-alpha clamp + excess drain (mutates ``cap``)."""
+    return _impl["ggt_retreat"](
+        head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
+        num_nodes, source, alpha,
+    )
+
+
+def ggt_advance(cap, base_cap, alpha_arcs, alpha_coeff, alpha):
+    """GGT increasing-alpha capacity refresh (mutates ``cap``)."""
+    return _impl["ggt_advance"](cap, base_cap, alpha_arcs, alpha_coeff, alpha)
+
+
+def bucket_peel(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):
+    """Bucket-queue min-degree peel over a flat instance index."""
+    return _impl["bucket_peel"](
+        inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive
+    )
+
+
+def warm_up() -> str:
+    """Run every registered kernel once on a toy input.
+
+    On the numba tier this triggers (and caches) the JIT compilation of
+    all kernels, so a serving process pays the compile before traffic
+    arrives -- and a CI job fails fast on a kernel typing error.
+    Returns the active tier.
+    """
+    # two-node network: source 0, sink 1, one unit arc + its reverse
+    head = [1, 0]
+    cap = [1.0, 0.0]
+    adj_start = [0, 1, 2]
+    adj_arcs = [0, 1]
+    dinic_max_flow(0, 1, head, list(cap), list(adj_start), list(adj_arcs))
+    push_relabel_max_flow(0, 1, head, list(cap), list(adj_start), list(adj_arcs))
+    ggt_retreat(head, [0.5, 0.5], [0.0, 0.0], adj_start, adj_arcs, [0], [1.0], 2, 0, 0.25)
+    ggt_advance([0.5, 0.5], [0.0, 0.0], [0], [1.0], 0.75)
+    # one 2-clique instance over two vertices
+    bucket_peel([0, 1], [0, 1, 2], [0, 0], [1, 1], bytearray(b"\x01"),
+                bytearray(b"\x01\x01"), 2, 2, 1)
+    kern = get("heap_peel")
+    if kern is not None:
+        kern([0, 1], [0, 1, 2], [0, 0], [1, 1], bytearray(b"\x01"), 1, 2, 2)
+    return TIER
+
+
+select_tier(None)

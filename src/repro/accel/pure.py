@@ -1,0 +1,418 @@
+"""Pure-python hot-loop kernels -- the portable baseline tier.
+
+Every kernel in the registry (:mod:`repro.accel`) has its reference
+implementation here, written over the flat arc / incidence arrays as
+plain Python lists.  The higher tiers (:mod:`repro.accel.vector`,
+:mod:`repro.accel.kernels`) are literal translations of these loops --
+same traversal order, same float-operation order, same EPS discipline
+-- so residual capacities, flow values, cuts, peel orders and densities
+are *bit-identical* across tiers (the dispatch property suite pins
+this).
+
+Keep that in mind when editing: any reordering of arithmetic or
+traversal here must be mirrored in :mod:`repro.accel.kernels`, and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..flow.network import EPS
+
+# --------------------------------------------------------------------
+# Dinic (BFS level graph + iterative blocking-flow DFS)
+# --------------------------------------------------------------------
+
+
+def dinic_levels(head, cap, adj_start, adj_arcs, n, source, sink):
+    """BFS levels over residual arcs; stops once the sink's level is set."""
+    level = [-1] * n
+    level[source] = 0
+    frontier = [source]
+    depth = 0
+    while frontier and level[sink] < 0:
+        depth += 1
+        nxt: list[int] = []
+        for u in frontier:
+            for idx in range(adj_start[u], adj_start[u + 1]):
+                arc = adj_arcs[idx]
+                v = head[arc]
+                if level[v] < 0 and cap[arc] > EPS:
+                    level[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return level
+
+
+def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, levels_fn=None):
+    """Dinic over the flat arc arrays; returns the flow pushed.
+
+    ``levels_fn`` lets the numpy tier swap in its vectorised BFS while
+    sharing this blocking-flow DFS (level *values* at the nodes the DFS
+    can reach are identical either way, and dead-end probes into extra
+    labelled nodes push no flow, so the augmenting-path sequence -- and
+    every residual float -- is the same).
+    """
+    if levels_fn is None:
+        levels_fn = dinic_levels
+    n = len(adj_start) - 1
+    total = 0.0
+
+    while True:
+        # --- BFS: build the level graph ------------------------------
+        level = levels_fn(head, cap, adj_start, adj_arcs, n, source, sink)
+        if level[sink] < 0:
+            return total
+
+        # --- iterative DFS: push a blocking flow ----------------------
+        it = adj_start[:n]  # per-node cursor into adj_arcs
+        path: list[int] = []  # arcs from source down to the frontier
+        u = source
+        while True:
+            if u == sink:
+                pushed = cap[path[0]]
+                for arc in path:
+                    if cap[arc] < pushed:
+                        pushed = cap[arc]
+                for arc in path:
+                    cap[arc] -= pushed
+                    cap[arc ^ 1] += pushed
+                total += pushed
+                # retreat to just before the first saturated arc
+                for i, arc in enumerate(path):
+                    if cap[arc] <= EPS:
+                        u = head[arc ^ 1]  # tail of the saturated arc
+                        del path[i:]
+                        break
+                continue
+            advanced = False
+            end = adj_start[u + 1]
+            while it[u] < end:
+                arc = adj_arcs[it[u]]
+                v = head[arc]
+                if cap[arc] > EPS and level[v] == level[u] + 1:
+                    path.append(arc)
+                    u = v
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            if u == source:
+                break  # blocking flow complete for this phase
+            # dead end: prune the node from this phase and retreat
+            level[u] = -1
+            arc = path.pop()
+            u = head[arc ^ 1]
+            it[u] += 1
+
+
+# --------------------------------------------------------------------
+# Push-relabel (highest-label selection + gap relabeling)
+# --------------------------------------------------------------------
+
+
+def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
+    """Highest-label push-relabel with the gap heuristic; returns the value.
+
+    Active nodes live in per-height intrusive stacks and the highest one
+    is discharged to exhaustion (relabels keep it selected, since its
+    height only grows).  When a relabel empties a height level below
+    ``n``, no residual path can cross it any more, so every node
+    strictly above the gap (and below ``n``) is lifted straight to
+    ``n + 1`` -- their flow can only return to the source, which the
+    second (drain-back) phase then does.  Runs to completion, so the
+    residual state on exit is a genuine max *flow* (not a preflow) and
+    ``min_cut_source_side`` stays valid.
+
+    Infinite capacities are clamped to a finite big-M above the total
+    finite capacity (summed over *all* arcs, which keeps the bound valid
+    on warm-started / cancelled parametric networks), which cannot
+    change the min cut.
+    """
+    n = len(adj_start) - 1
+
+    finite_total = 0.0
+    for c in cap:
+        if not math.isinf(c):
+            finite_total += c
+    big = finite_total * 2.0 + 1.0
+    for i, c in enumerate(cap):
+        if math.isinf(c):
+            cap[i] = big
+
+    max_h = 2 * n
+    height = [0] * n
+    excess = [0.0] * n
+    height[source] = n
+    count = [0] * (max_h + 2)  # nodes per height, for gap detection
+    count[0] = n - 1
+    count[n] += 1
+
+    bucket = [-1] * (max_h + 2)  # per-height stacks of active nodes
+    nxt = [-1] * n
+    queued = bytearray(n)
+    highest = -1
+    cursor = adj_start[:n]  # per-node cursor into adj_arcs
+
+    # Saturate all source arcs.
+    for idx in range(adj_start[source], adj_start[source + 1]):
+        arc = adj_arcs[idx]
+        flow = cap[arc]
+        if flow > EPS:
+            v = head[arc]
+            cap[arc] = 0.0
+            cap[arc ^ 1] += flow
+            excess[v] += flow
+            if v != source and v != sink and not queued[v]:
+                queued[v] = 1
+                hv = height[v]
+                nxt[v] = bucket[hv]
+                bucket[hv] = v
+                if hv > highest:
+                    highest = hv
+
+    while highest >= 0:
+        u = bucket[highest]
+        if u < 0:
+            highest -= 1
+            continue
+        bucket[highest] = nxt[u]
+        queued[u] = 0
+        if excess[u] <= EPS:
+            continue
+        end = adj_start[u + 1]
+        while excess[u] > EPS:
+            if cursor[u] == end:
+                # relabel: one above the lowest admissible neighbour
+                min_height = -1
+                for idx in range(adj_start[u], end):
+                    arc = adj_arcs[idx]
+                    if cap[arc] > EPS:
+                        hh = height[head[arc]]
+                        if min_height < 0 or hh < min_height:
+                            min_height = hh
+                if min_height < 0:
+                    break  # isolated excess; cannot happen on sane networks
+                old_h = height[u]
+                count[old_h] -= 1
+                height[u] = min_height + 1
+                count[min_height + 1] += 1
+                cursor[u] = adj_start[u]
+                if count[old_h] == 0 and old_h < n:
+                    # gap: lift every node strictly inside (old_h, n) --
+                    # including u itself -- to n + 1 and rebuild the
+                    # buckets (lifted nodes sit in stale lists)
+                    for v in range(n):
+                        hv = height[v]
+                        if old_h < hv < n and v != source:
+                            count[hv] -= 1
+                            height[v] = n + 1
+                            count[n + 1] += 1
+                            cursor[v] = adj_start[v]
+                    for hh in range(max_h + 2):
+                        bucket[hh] = -1
+                    for v in range(n):
+                        queued[v] = 0
+                    highest = -1
+                    for v in range(n):
+                        if v != source and v != sink and v != u and excess[v] > EPS:
+                            queued[v] = 1
+                            hv = height[v]
+                            nxt[v] = bucket[hv]
+                            bucket[hv] = v
+                            if hv > highest:
+                                highest = hv
+                continue
+            arc = adj_arcs[cursor[u]]
+            v = head[arc]
+            if cap[arc] > EPS and height[u] == height[v] + 1:
+                delta = excess[u] if excess[u] < cap[arc] else cap[arc]
+                cap[arc] -= delta
+                cap[arc ^ 1] += delta
+                excess[u] -= delta
+                excess[v] += delta
+                if v != source and v != sink and not queued[v]:
+                    queued[v] = 1
+                    hv = height[v]
+                    nxt[v] = bucket[hv]
+                    bucket[hv] = v
+                    if hv > highest:
+                        highest = hv
+            else:
+                cursor[u] += 1
+    return excess[sink]
+
+
+# --------------------------------------------------------------------
+# GGT retreat: clamp over-full sink arcs, drain the excess to the source
+# --------------------------------------------------------------------
+
+
+def _drain_to_source(head, cap, adj_start, adj_arcs, num_nodes, source, node, amount):
+    """Push ``amount`` units of excess from ``node`` back to the source.
+
+    Repeated residual-path search (node -> source, DFS) with path
+    augmentation; the excess always drains fully when it came from
+    clamping a feasible flow (flow decomposition guarantees the reverse
+    arcs of its paths carry enough residual).
+    """
+    remaining = amount
+    while remaining > EPS:
+        parent = [-2] * num_nodes  # arc that discovered each node
+        parent[node] = -1
+        stack = [node]
+        found = False
+        while stack and not found:
+            u = stack.pop()
+            for idx in range(adj_start[u], adj_start[u + 1]):
+                arc = adj_arcs[idx]
+                w = head[arc]
+                if parent[w] == -2 and cap[arc] > EPS:
+                    parent[w] = arc
+                    if w == source:
+                        found = True
+                        break
+                    stack.append(w)
+        if not found:  # pragma: no cover - impossible for clamped max flows
+            break
+        path: list[int] = []
+        w = source
+        while w != node:
+            arc = parent[w]
+            path.append(arc)
+            w = head[arc ^ 1]
+        push = remaining
+        for arc in path:
+            if cap[arc] < push:
+                push = cap[arc]
+        for arc in path:
+            cap[arc] -= push
+            cap[arc ^ 1] += push
+        remaining -= push
+    return amount - remaining
+
+
+def ggt_retreat(
+    head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
+    num_nodes, source, alpha,
+):
+    """Decreasing-alpha half of GGT over the flat arrays.
+
+    Each alpha-arc whose flow exceeds its shrunken capacity is clamped
+    to saturation and the difference drained from the arc's tail back to
+    the source; arcs still under capacity just have their residual
+    recomputed.  Mutates ``cap`` in place; the state on exit is a
+    feasible warm flow at the new alpha.
+    """
+    excess: list[tuple[int, float]] = []
+    for i in range(len(alpha_arcs)):
+        a = alpha_arcs[i]
+        c = alpha_coeff[i]
+        new_cap = base_cap[a] + c * alpha
+        flow = cap[a ^ 1] - base_cap[a ^ 1]
+        if flow > new_cap:
+            cap[a] = 0.0
+            cap[a ^ 1] = base_cap[a ^ 1] + new_cap
+            excess.append((head[a ^ 1], flow - new_cap))
+        else:
+            cap[a] = new_cap - flow
+    for node, amount in excess:
+        _drain_to_source(head, cap, adj_start, adj_arcs, num_nodes, source, node, amount)
+
+
+def ggt_advance(cap, base_cap, alpha_arcs, alpha_coeff, alpha):
+    """Increasing-alpha capacity refresh (kept interpreter-side on every
+    tier: the loop is O(#alpha-arcs), below the list<->array conversion
+    cost a jitted version would pay -- see the registry notes)."""
+    for i in range(len(alpha_arcs)):
+        a = alpha_arcs[i]
+        flow = cap[a ^ 1] - base_cap[a ^ 1]
+        cap[a] = base_cap[a] + alpha_coeff[i] * alpha - flow
+
+
+# --------------------------------------------------------------------
+# Bucket-queue peel (Algorithm-3 core decomposition engine)
+# --------------------------------------------------------------------
+
+
+def degree_bucket_queue(deg):
+    """Counting-sort setup of the Batagelj-Zaversnik bucket queue.
+
+    Returns ``(position, order, bin_ptr)``: ``order`` lists vertex ids
+    ascending by degree with ``position`` its inverse, and ``bin_ptr[d]``
+    points at the first entry of degree-``d``'s bucket.  Shared by the
+    full decomposition and CoreApp's floor-clamped prefix peel; both
+    then run the standard one-swap-per-decrement loop over these arrays.
+    """
+    n = len(deg)
+    max_deg = max(deg, default=0)
+    bin_start = [0] * (max_deg + 2)
+    for d in deg:
+        bin_start[d + 1] += 1
+    for i in range(max_deg + 1):
+        bin_start[i + 1] += bin_start[i]
+    fill = bin_start[: max_deg + 1]
+    position = [0] * n
+    order = [0] * n
+    for i in range(n):
+        d = deg[i]
+        p = fill[d]
+        position[i] = p
+        order[p] = i
+        fill[d] += 1
+    return position, order, bin_start[: max_deg + 1]
+
+
+def bucket_peel(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):
+    """Min-degree bucket-queue peel over a flat instance index.
+
+    The engine behind the (k, Psi)-core decomposition: removes vertices
+    ascending by current degree (one bucket swap per decrement), kills
+    the incident instances, and tracks the best residual density over
+    the ``in_graph`` vertices.  ``deg`` and ``alive`` are mutated in
+    place (callers pass private copies).
+
+    Returns ``(core, order, best_removed, best_density)``: the core
+    number and removal order by internal id, how many removals led to
+    the best residual, and that density.
+    """
+    n = len(deg)
+    position, order, bin_ptr = degree_bucket_queue(deg)
+    core = [0] * n
+    removed = bytearray(n)
+    best_density = (num_alive / n_graph) if n_graph else 0.0
+    best_removed = 0
+    alive_graph = n_graph
+    for i in range(n):
+        vi = order[i]
+        dv = deg[vi]
+        removed[vi] = 1
+        core[vi] = dv
+        if in_graph[vi]:
+            alive_graph -= 1
+        for pos in range(inc_start[vi], inc_start[vi + 1]):
+            iid = inc_ids[pos]
+            if not alive[iid]:
+                continue
+            alive[iid] = 0
+            num_alive -= 1
+            for k in range(iid * h, iid * h + h):
+                ui = inst[k]
+                if not removed[ui] and deg[ui] > dv:
+                    du = deg[ui]
+                    first = bin_ptr[du]
+                    w = order[first]
+                    if w != ui:
+                        pu = position[ui]
+                        order[first], order[pu] = ui, w
+                        position[ui], position[w] = first, pu
+                    bin_ptr[du] += 1
+                    deg[ui] = du - 1
+        if alive_graph:
+            density = num_alive / alive_graph
+            if density > best_density:
+                best_density = density
+                best_removed = i + 1
+    return core, order, best_removed, best_density

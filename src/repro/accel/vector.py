@@ -1,0 +1,66 @@
+"""numpy-assisted kernel implementations -- the middle dispatch tier.
+
+Only the kernels with a genuinely vectorisable phase live here; today
+that is Dinic's BFS level construction (one arc-parallel relaxation
+pass per level, which beats the scalar queue on the shallow, wide DSD
+networks).  The sequential loops -- blocking-flow DFS, push-relabel
+discharge, drains, peels -- have no useful numpy formulation, so the
+registry maps them to the pure tier when numba is unavailable.
+
+The level arrays the vectorised BFS produces can label more nodes at
+the sink's depth than the early-stopping scalar BFS, but the
+blocking-flow DFS pushes no flow through those extra dead ends, so the
+augmenting-path sequence and every residual float stay bit-identical
+(asserted by the dispatch property suite).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..flow.network import EPS
+from . import pure
+
+if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+    np = None
+else:
+    try:  # optional: the scalar BFS is used when numpy is absent
+        import numpy as np
+    except ImportError:  # pragma: no cover - environment-specific
+        np = None
+
+#: Arc-array length above which the vectorised BFS pays for its
+#: per-call numpy overhead (tuned on the bench surrogates).
+NUMPY_BFS_MIN_ARCS = 8192
+
+
+def _levels_numpy(head_np, tail_np, cap, n, source, sink):
+    """Arc-parallel BFS: one vectorised relaxation pass per level."""
+    residual = np.asarray(cap) > EPS
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    depth = 0
+    while True:
+        grow = residual & (level[tail_np] == depth) & (level[head_np] < 0)
+        if not grow.any():
+            break
+        level[head_np[grow]] = depth + 1
+        if level[sink] >= 0:
+            break
+        depth += 1
+    return level.tolist()
+
+
+def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
+    """Dinic with the numpy BFS above :data:`NUMPY_BFS_MIN_ARCS` arcs."""
+    if np is None or len(head) < NUMPY_BFS_MIN_ARCS:
+        return pure.dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs)
+    head_np = np.asarray(head, dtype=np.int64)
+    tail_np = head_np.reshape(-1, 2)[:, ::-1].reshape(-1)
+
+    def levels(head_l, cap_l, adj_start_l, adj_arcs_l, n, src, snk):
+        return _levels_numpy(head_np, tail_np, cap_l, n, src, snk)
+
+    return pure.dinic_max_flow(
+        source, sink, head, cap, adj_start, adj_arcs, levels_fn=levels
+    )

@@ -16,8 +16,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import accel
+from ..accel.pure import degree_bucket_queue  # re-export: CoreApp's prefix peel uses it
 from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
+
+__all__ = [
+    "CliqueCoreResult",
+    "clique_core_decomposition",
+    "degree_bucket_queue",
+    "peel_index_decomposition",
+    "clique_core_subgraph",
+    "kmax_clique_core",
+]
 
 
 @dataclass
@@ -86,35 +97,6 @@ def clique_core_decomposition(
     return peel_index_decomposition(graph, index)
 
 
-def degree_bucket_queue(deg: list[int]) -> tuple[list[int], list[int], list[int]]:
-    """Counting-sort setup of the Batagelj–Zaveršnik bucket queue.
-
-    Returns ``(position, order, bin_ptr)``: ``order`` lists vertex ids
-    ascending by degree with ``position`` its inverse, and ``bin_ptr[d]``
-    points at the first entry of degree-``d``'s bucket.  Shared by the
-    full decomposition here and CoreApp's floor-clamped prefix peel
-    (:func:`repro.core.core_app._kmax_core_at_least`); both then run
-    the standard one-swap-per-decrement loop over these arrays.
-    """
-    n = len(deg)
-    max_deg = max(deg, default=0)
-    bin_start = [0] * (max_deg + 2)
-    for d in deg:
-        bin_start[d + 1] += 1
-    for i in range(max_deg + 1):
-        bin_start[i + 1] += bin_start[i]
-    fill = bin_start[: max_deg + 1]
-    position = [0] * n
-    order = [0] * n
-    for i in range(n):
-        d = deg[i]
-        p = fill[d]
-        position[i] = p
-        order[p] = i
-        fill[d] += 1
-    return position, order, bin_start[: max_deg + 1]
-
-
 def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResult:
     """Algorithm-3 peeling over any materialised instance index.
 
@@ -125,13 +107,14 @@ def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResu
     flat arrays -- instance kills walk the per-vertex CSR incidence
     ranges -- against a *private copy* of the alive layer, so the index
     itself is left untouched for later consumers (CoreExact's flow
-    phase reuses it).
+    phase reuses it).  The bucket-queue loop itself dispatches through
+    the :mod:`repro.accel` kernel registry (numba-compiled on the numba
+    tier, the pure loop otherwise; outputs bit-identical).
     """
     labels = index.vertices
     n = len(labels)
     n_graph = graph.num_vertices
     in_graph = bytearray(v in graph for v in labels)
-    inst, inc_start, inc_ids, h = index.inst, index.inc_start, index.inc_ids, index.h
 
     alive = bytearray(index.alive)
     num_alive = index.num_alive
@@ -141,52 +124,20 @@ def peel_index_decomposition(graph: Graph, index: CliqueIndex) -> CliqueCoreResu
         degree = index.degrees()
         deg = [degree[v] for v in labels]
 
-    core: dict[Vertex, int] = {}
-    peel_order: list[Vertex] = []
-    best_density = (num_alive / n_graph) if n_graph else 0.0
     # The best residual is reconstructed from the peel prefix at the end
     # instead of copying the alive set on every improvement (O(n^2) on
     # graphs whose density keeps rising while peeling).
-    best_removed = 0
+    core_by_id, order, best_removed, best_density = accel.bucket_peel(
+        index.inst, index.inc_start, index.inc_ids, deg, alive, in_graph,
+        index.h, n_graph, num_alive,
+    )
 
-    # Array-backed bucket queue (Batagelj–Zaveršnik layout, as in
-    # repro.graph.csr.core_numbers): vertices sorted by current degree
-    # in ``order``, one swap per degree decrement.
-    position, order, bin_ptr = degree_bucket_queue(deg)
-
-    removed = bytearray(n)
-    alive_graph = n_graph
+    core: dict[Vertex, int] = {}
+    peel_order: list[Vertex] = []
     for i in range(n):
         vi = order[i]
-        dv = deg[vi]
-        removed[vi] = 1
-        core[labels[vi]] = dv
+        core[labels[vi]] = core_by_id[vi]
         peel_order.append(labels[vi])
-        if in_graph[vi]:
-            alive_graph -= 1
-        for pos in range(inc_start[vi], inc_start[vi + 1]):
-            iid = inc_ids[pos]
-            if not alive[iid]:
-                continue
-            alive[iid] = 0
-            num_alive -= 1
-            for k in range(iid * h, iid * h + h):
-                ui = inst[k]
-                if not removed[ui] and deg[ui] > dv:
-                    du = deg[ui]
-                    first = bin_ptr[du]
-                    w = order[first]
-                    if w != ui:
-                        pu = position[ui]
-                        order[first], order[pu] = ui, w
-                        position[ui], position[w] = first, pu
-                    bin_ptr[du] += 1
-                    deg[ui] = du - 1
-        if alive_graph:
-            density = num_alive / alive_graph
-            if density > best_density:
-                best_density = density
-                best_removed = len(peel_order)
     graph_vertices = set(graph.vertices())
     if best_removed:
         peeled = set(peel_order[:best_removed])

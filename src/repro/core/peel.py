@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
+from .. import accel
 from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
 from .exact import DensestSubgraphResult
@@ -40,11 +41,33 @@ def min_degree_peel(
     num_alive_instances)`` after each removal, down to a single
     remaining vertex; ``alive`` is the live set mutated in place --
     copy it to keep a snapshot.  ``index`` is consumed.
+
+    On the numba tier of the :mod:`repro.accel` registry the whole peel
+    runs in one compiled kernel call up front and the generator merely
+    replays the removal sequence (byte-identical yields: the heap keys
+    ``(degree, id)`` are unique, so the valid-pop order is a pure
+    function of the graph).  The index's alive layer then reaches its
+    fully-consumed state as soon as the generator starts rather than
+    step by step -- no consumer reads the index mid-iteration.
     """
     labels = index.vertices
     n = graph.num_vertices  # labels[:n] are the graph's vertices in rank order
     degrees = index.degrees()
     deg = [degrees[v] for v in labels]
+
+    kern = accel.get("heap_peel")
+    if kern is not None:
+        order, num_alive_after, final_alive = kern(
+            index.inst, index.inc_start, index.inc_ids, deg, index.alive,
+            index.num_alive, n, index.h,
+        )
+        index.num_alive = final_alive
+        alive = set(labels[:n])
+        for vid, num_alive in zip(order, num_alive_after):
+            alive.discard(labels[vid])
+            yield labels[vid], alive, num_alive
+        return
+
     heap = [(deg[i], i) for i in range(n)]
     heapq.heapify(heap)
 

@@ -9,82 +9,19 @@ the interpreter recursion limit.
 
 The solver runs on the flat arc arrays exposed by
 ``network.flow_arrays()`` (both :class:`~repro.flow.network.FlowNetwork`
-and :class:`~repro.flow.parametric.ParametricNetwork` provide it).  On
-networks above :data:`NUMPY_BFS_MIN_ARCS` arcs the BFS level
-construction is vectorised with numpy: each round relaxes every residual
-arc whose tail sits on the current frontier in a handful of O(E) array
-ops, which beats the scalar queue on the shallow DSD networks.
+and :class:`~repro.flow.parametric.ParametricNetwork` provide it) and
+dispatches through the :mod:`repro.accel` kernel registry: the numba
+tier compiles the whole BFS + DFS to native code, the numpy tier
+vectorises the BFS level construction above
+:data:`~repro.accel.vector.NUMPY_BFS_MIN_ARCS` arcs, and the python
+tier runs the portable scalar loops.  All tiers are bit-identical.
 """
 
 from __future__ import annotations
 
-import os
+from .. import accel
 
-from .network import EPS
-
-if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
-    np = None
-else:
-    try:  # optional: the scalar BFS is used when numpy is absent
-        import numpy as np
-    except ImportError:  # pragma: no cover - environment-specific
-        np = None
-
-#: Arc-array length above which the vectorised BFS pays for its
-#: per-call numpy overhead (tuned on the bench surrogates).
-NUMPY_BFS_MIN_ARCS = 8192
-
-
-def _levels_scalar(
-    head: list[int],
-    cap: list[float],
-    adj_start: list[int],
-    adj_arcs: list[int],
-    n: int,
-    source: int,
-    sink: int,
-) -> list[int]:
-    """BFS levels over residual arcs; stops once the sink's level is set."""
-    level = [-1] * n
-    level[source] = 0
-    frontier = [source]
-    depth = 0
-    while frontier and level[sink] < 0:
-        depth += 1
-        nxt: list[int] = []
-        for u in frontier:
-            for idx in range(adj_start[u], adj_start[u + 1]):
-                arc = adj_arcs[idx]
-                v = head[arc]
-                if level[v] < 0 and cap[arc] > EPS:
-                    level[v] = depth
-                    nxt.append(v)
-        frontier = nxt
-    return level
-
-
-def _levels_numpy(
-    head_np: "np.ndarray",
-    tail_np: "np.ndarray",
-    cap: list[float],
-    n: int,
-    source: int,
-    sink: int,
-) -> list[int]:
-    """Arc-parallel BFS: one vectorised relaxation pass per level."""
-    residual = np.asarray(cap) > EPS
-    level = np.full(n, -1, dtype=np.int64)
-    level[source] = 0
-    depth = 0
-    while True:
-        grow = residual & (level[tail_np] == depth) & (level[head_np] < 0)
-        if not grow.any():
-            break
-        level[head_np[grow]] = depth + 1
-        if level[sink] >= 0:
-            break
-        depth += 1
-    return level.tolist()
+__all__ = ["max_flow", "min_cut"]
 
 
 def max_flow(network) -> float:
@@ -100,64 +37,7 @@ def max_flow(network) -> float:
     source, sink, head, cap, adj_start, adj_arcs = network.flow_arrays()
     if source == sink:
         raise ValueError("source and sink must differ")
-    n = len(adj_start) - 1
-    total = 0.0
-
-    use_numpy = np is not None and len(head) >= NUMPY_BFS_MIN_ARCS
-    if use_numpy:
-        head_np = np.asarray(head, dtype=np.int64)
-        tail_np = head_np.reshape(-1, 2)[:, ::-1].reshape(-1)
-
-    while True:
-        # --- BFS: build the level graph ------------------------------
-        if use_numpy:
-            level = _levels_numpy(head_np, tail_np, cap, n, source, sink)
-        else:
-            level = _levels_scalar(head, cap, adj_start, adj_arcs, n, source, sink)
-        if level[sink] < 0:
-            return total
-
-        # --- iterative DFS: push a blocking flow ----------------------
-        it = adj_start[:n]  # per-node cursor into adj_arcs
-        path: list[int] = []  # arcs from source down to the frontier
-        u = source
-        while True:
-            if u == sink:
-                pushed = cap[path[0]]
-                for arc in path:
-                    if cap[arc] < pushed:
-                        pushed = cap[arc]
-                for arc in path:
-                    cap[arc] -= pushed
-                    cap[arc ^ 1] += pushed
-                total += pushed
-                # retreat to just before the first saturated arc
-                for i, arc in enumerate(path):
-                    if cap[arc] <= EPS:
-                        u = head[arc ^ 1]  # tail of the saturated arc
-                        del path[i:]
-                        break
-                continue
-            advanced = False
-            end = adj_start[u + 1]
-            while it[u] < end:
-                arc = adj_arcs[it[u]]
-                v = head[arc]
-                if cap[arc] > EPS and level[v] == level[u] + 1:
-                    path.append(arc)
-                    u = v
-                    advanced = True
-                    break
-                it[u] += 1
-            if advanced:
-                continue
-            if u == source:
-                break  # blocking flow complete for this phase
-            # dead end: prune the node from this phase and retreat
-            level[u] = -1
-            arc = path.pop()
-            u = head[arc ^ 1]
-            it[u] += 1
+    return accel.dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs)
 
 
 def min_cut(network) -> tuple[float, set]:

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .. import accel
 from .network import EPS, build_csr, source_reachable
 
 
@@ -190,10 +191,7 @@ class ParametricNetwork:
         flow it carries (read off the reverse arc), so a warm chain
         reproduces the same floats as a single jump from the base state.
         """
-        cap, base = self.cap, self.base_cap
-        for a, c in zip(self.alpha_arcs, self.alpha_coeff):
-            flow = cap[a ^ 1] - base[a ^ 1]
-            cap[a] = base[a] + c * alpha - flow
+        accel.ggt_advance(self.cap, self.base_cap, self.alpha_arcs, self.alpha_coeff, alpha)
         self._alpha = alpha
 
     def _retreat_alpha(self, alpha: float) -> None:
@@ -211,66 +209,11 @@ class ParametricNetwork:
         """
         if self._canceled:
             self._uncancel()
-        cap, base, head = self.cap, self.base_cap, self.head
-        excess: list[tuple[int, float]] = []
-        for a, c in zip(self.alpha_arcs, self.alpha_coeff):
-            new_cap = base[a] + c * alpha
-            flow = cap[a ^ 1] - base[a ^ 1]
-            if flow > new_cap:
-                cap[a] = 0.0
-                cap[a ^ 1] = base[a ^ 1] + new_cap
-                excess.append((head[a ^ 1], flow - new_cap))
-            else:
-                cap[a] = new_cap - flow
-        for node, amount in excess:
-            self._drain_to_source(node, amount)
+        accel.ggt_retreat(
+            self.head, self.cap, self.base_cap, self.adj_start, self.adj_arcs,
+            self.alpha_arcs, self.alpha_coeff, self.num_nodes, self.source, alpha,
+        )
         self._alpha = alpha
-
-    def _drain_to_source(self, node: int, amount: float) -> float:
-        """Push ``amount`` units of excess from ``node`` back to the source.
-
-        Repeated residual-path search (node → source) with path
-        augmentation; returns the amount actually drained (equal to
-        ``amount`` whenever the excess came from clamping a feasible
-        flow, which is the only caller).
-        """
-        head, cap = self.head, self.cap
-        adj_start, adj_arcs = self.adj_start, self.adj_arcs
-        source = self.source
-        remaining = amount
-        while remaining > EPS:
-            parent = [-2] * self.num_nodes  # arc that discovered each node
-            parent[node] = -1
-            stack = [node]
-            found = False
-            while stack and not found:
-                u = stack.pop()
-                for idx in range(adj_start[u], adj_start[u + 1]):
-                    arc = adj_arcs[idx]
-                    w = head[arc]
-                    if parent[w] == -2 and cap[arc] > EPS:
-                        parent[w] = arc
-                        if w == source:
-                            found = True
-                            break
-                        stack.append(w)
-            if not found:  # pragma: no cover - impossible for clamped max flows
-                break
-            path: list[int] = []
-            w = source
-            while w != node:
-                arc = parent[w]
-                path.append(arc)
-                w = head[arc ^ 1]
-            push = remaining
-            for arc in path:
-                if cap[arc] < push:
-                    push = cap[arc]
-            for arc in path:
-                cap[arc] -= push
-                cap[arc ^ 1] += push
-            remaining -= push
-        return amount - remaining
 
     def _warm_step_ok(self, delta: float) -> bool:
         """Whether a warm start is safe for an α step of ``delta``.

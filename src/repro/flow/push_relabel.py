@@ -1,96 +1,42 @@
-"""FIFO push–relabel max-flow (Goldberg–Tarjan).
+"""Highest-label push-relabel max flow with gap relabeling.
 
 A second, independently implemented solver.  It exists for two reasons:
 differential testing of :mod:`repro.flow.dinic` (both must agree on the
 flow value and cut capacity on every network), and the solver ablation
 bench -- the paper notes any exact max-flow algorithm slots into the
 framework.  Like Dinic it runs on the flat arc arrays exposed by
-``network.flow_arrays()``.
+``network.flow_arrays()`` and dispatches through the
+:mod:`repro.accel` kernel registry (numba-compiled discharge loop on
+the numba tier, the pure-python loop otherwise).
+
+The discharge loop uses **highest-label selection** (per-height active
+stacks; the highest active node discharges to exhaustion) and the
+**gap-relabeling heuristic**: when a relabel empties a height level
+below ``n``, no residual path can cross it any more, so every node
+strictly above the gap is lifted straight to ``n + 1``, skipping the
+dead one-by-one relabel ladder.  The solver runs to completion (both
+phases), so the residual state on exit is a genuine max flow and
+``min_cut_source_side`` stays valid.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
+from .. import accel
 
-from .network import EPS
+__all__ = ["max_flow", "min_cut"]
 
 
 def max_flow(network) -> float:
-    """Run FIFO push–relabel on ``network`` in place; return the value.
+    """Run highest-label push-relabel on ``network`` in place.
 
     Infinite capacities are clamped to a finite "big-M" above the total
-    finite capacity leaving the source, which cannot change the min cut.
+    finite capacity of the whole network (valid on warm-started /
+    cancelled parametric networks too), which cannot change the min cut.
     """
     source, sink, head, cap, adj_start, adj_arcs = network.flow_arrays()
-    n = len(adj_start) - 1
-
-    # Clamp infinities: any flow this run pushes is bounded by the total
-    # finite capacity in the network (every augmenting path crosses at
-    # least one finite arc), so arcs clamped above that can never
-    # saturate.  Summing over *all* arcs -- not just the source's --
-    # keeps the bound valid on warm-started / cancelled parametric
-    # networks whose residual source capacities may already be zero.
-    finite_total = sum(c for c in cap if not math.isinf(c))
-    big = finite_total * 2.0 + 1.0
-    for i, c in enumerate(cap):
-        if math.isinf(c):
-            cap[i] = big
-
-    height = [0] * n
-    excess = [0.0] * n
-    height[source] = n
-
-    active: deque[int] = deque()
-    in_queue = [False] * n
-
-    # Saturate all source arcs.
-    for idx in range(adj_start[source], adj_start[source + 1]):
-        arc = adj_arcs[idx]
-        flow = cap[arc]
-        if flow > EPS:
-            v = head[arc]
-            cap[arc] = 0.0
-            cap[arc ^ 1] += flow
-            excess[v] += flow
-            if v not in (source, sink) and not in_queue[v]:
-                active.append(v)
-                in_queue[v] = True
-
-    cursor = adj_start[:n]  # per-node cursor into adj_arcs
-    while active:
-        u = active.popleft()
-        in_queue[u] = False
-        end = adj_start[u + 1]
-        while excess[u] > EPS:
-            if cursor[u] == end:
-                # relabel: one above the lowest admissible neighbour
-                min_height = None
-                for idx in range(adj_start[u], end):
-                    arc = adj_arcs[idx]
-                    if cap[arc] > EPS:
-                        h = height[head[arc]]
-                        if min_height is None or h < min_height:
-                            min_height = h
-                if min_height is None:
-                    break  # isolated excess; cannot happen on sane networks
-                height[u] = min_height + 1
-                cursor[u] = adj_start[u]
-                continue
-            arc = adj_arcs[cursor[u]]
-            v = head[arc]
-            if cap[arc] > EPS and height[u] == height[v] + 1:
-                delta = min(excess[u], cap[arc])
-                cap[arc] -= delta
-                cap[arc ^ 1] += delta
-                excess[u] -= delta
-                excess[v] += delta
-                if v not in (source, sink) and not in_queue[v]:
-                    active.append(v)
-                    in_queue[v] = True
-            else:
-                cursor[u] += 1
-    return excess[sink]
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    return accel.push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs)
 
 
 def min_cut(network) -> tuple[float, set]:
