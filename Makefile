@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-clique-index bench-smoke bench ablation bench-accel
+.PHONY: test test-clique-index bench-smoke bench ablation bench-accel trace-smoke lint
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,3 +42,13 @@ ablation:
 bench-accel:
 	timeout 900 env REPRO_BENCH_SCALE=0.1 PYTHONPATH=src \
 		python -m pytest benchmarks/bench_ablation_flow_reuse.py -q --benchmark-disable
+
+# Traced Exact/CoreExact workload streaming JSONL to benchmarks/out/,
+# schema-validated and reconciled against the legacy stats (exits
+# non-zero on any schema error or stats mismatch).
+trace-smoke:
+	$(PY) -m repro.obs.smoke benchmarks/out/trace_smoke.jsonl
+
+# Fast syntax/undefined-name lint (CI runs it before the test matrix).
+lint:
+	python -m ruff check src tests benchmarks examples

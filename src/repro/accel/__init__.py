@@ -52,7 +52,9 @@ float reassociation and break bit-identity with the other tiers.
 from __future__ import annotations
 
 import os
+import time
 
+from .. import obs
 from . import pure, vector
 
 if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
@@ -109,9 +111,11 @@ def _f8(x):
 def _wrap_max_flow(kfn):
     def run(source, sink, head, cap, adj_start, adj_arcs):
         cap_a = np.array(cap, dtype=np.float64)
-        total = kfn(source, sink, _i8(head), cap_a, _i8(adj_start), _i8(adj_arcs))
+        total, work1, work2 = kfn(
+            source, sink, _i8(head), cap_a, _i8(adj_start), _i8(adj_arcs)
+        )
         cap[:] = cap_a.tolist()
-        return float(total)
+        return float(total), int(work1), int(work2)
 
     return run
 
@@ -120,11 +124,12 @@ def _wrap_ggt_retreat(kfn):
     def run(head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
             num_nodes, source, alpha):
         cap_a = np.array(cap, dtype=np.float64)
-        kfn(
+        clamped, drain_paths = kfn(
             _i8(head), cap_a, _f8(base_cap), _i8(adj_start), _i8(adj_arcs),
             _i8(alpha_arcs), _f8(alpha_coeff), num_nodes, source, alpha,
         )
         cap[:] = cap_a.tolist()
+        return int(clamped), int(drain_paths)
 
     return run
 
@@ -259,33 +264,99 @@ def kernel_tiers() -> dict:
 
 # --- module-level dispatchers (the API the engines call) ------------
 
+#: Work counters of the most recent max-flow / retreat kernel call --
+#: the telemetry side channel :mod:`repro.flow.parametric` copies into
+#: its per-solve ``flow.solve`` events.  Populated only while
+#: :data:`repro.obs.ENABLED` is set (the disabled path adds nothing but
+#: the flag check), replaced wholesale per call.
+last_solve: dict = {}
+
+
+def _bfs_mode() -> str:
+    """Which BFS the current dinic implementation last used."""
+    tier = KERNEL_TIERS["dinic"]
+    if tier == "numpy":
+        return vector.LAST_BFS_MODE
+    if tier == "python":
+        return "scalar"
+    return "kernel"  # numba / numba-interp: the compiled scalar BFS
+
 
 def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
     """Dinic max flow over flat arc arrays (mutates ``cap`` in place)."""
-    return _impl["dinic"](source, sink, head, cap, adj_start, adj_arcs)
+    global last_solve
+    if not obs.ENABLED:
+        total, _, _ = _impl["dinic"](source, sink, head, cap, adj_start, adj_arcs)
+        return total
+    t0 = time.perf_counter()
+    total, bfs_passes, augments = _impl["dinic"](
+        source, sink, head, cap, adj_start, adj_arcs
+    )
+    seconds = time.perf_counter() - t0
+    last_solve = {
+        "kernel": "dinic",
+        "tier": KERNEL_TIERS["dinic"],
+        "arcs": len(head) // 2,
+        "bfs_mode": _bfs_mode(),
+        "bfs_passes": bfs_passes,
+        "augments": augments,
+        "seconds": seconds,
+    }
+    obs.counter("accel.dinic.calls")
+    obs.counter("accel.dinic.bfs_passes", bfs_passes)
+    obs.counter("accel.dinic.augments", augments)
+    return total
 
 
 def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
     """Highest-label + gap push-relabel (mutates ``cap`` in place)."""
-    return _impl["push_relabel"](source, sink, head, cap, adj_start, adj_arcs)
+    global last_solve
+    if not obs.ENABLED:
+        value, _, _ = _impl["push_relabel"](source, sink, head, cap, adj_start, adj_arcs)
+        return value
+    t0 = time.perf_counter()
+    value, pushes, relabels = _impl["push_relabel"](
+        source, sink, head, cap, adj_start, adj_arcs
+    )
+    seconds = time.perf_counter() - t0
+    last_solve = {
+        "kernel": "push_relabel",
+        "tier": KERNEL_TIERS["push_relabel"],
+        "arcs": len(head) // 2,
+        "pushes": pushes,
+        "relabels": relabels,
+        "seconds": seconds,
+    }
+    obs.counter("accel.push_relabel.calls")
+    obs.counter("accel.push_relabel.pushes", pushes)
+    obs.counter("accel.push_relabel.relabels", relabels)
+    return value
 
 
 def ggt_retreat(head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
                 num_nodes, source, alpha):
     """GGT decreasing-alpha clamp + excess drain (mutates ``cap``)."""
-    return _impl["ggt_retreat"](
+    clamped, drain_paths = _impl["ggt_retreat"](
         head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
         num_nodes, source, alpha,
     )
+    if obs.ENABLED:
+        obs.counter("accel.ggt_retreat.calls")
+        obs.counter("accel.ggt_retreat.clamped", clamped)
+        obs.counter("accel.ggt_retreat.drain_paths", drain_paths)
 
 
 def ggt_advance(cap, base_cap, alpha_arcs, alpha_coeff, alpha):
     """GGT increasing-alpha capacity refresh (mutates ``cap``)."""
+    if obs.ENABLED:
+        obs.counter("accel.ggt_advance.calls")
     return _impl["ggt_advance"](cap, base_cap, alpha_arcs, alpha_coeff, alpha)
 
 
 def bucket_peel(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):
     """Bucket-queue min-degree peel over a flat instance index."""
+    if obs.ENABLED:
+        obs.counter("accel.bucket_peel.calls")
     return _impl["bucket_peel"](
         inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive
     )

@@ -39,9 +39,16 @@ KERNEL_NAMES = (
 
 
 def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Dinic over flat arrays; mirrors ``pure.dinic_max_flow`` exactly."""
+    """Dinic over flat arrays; mirrors ``pure.dinic_max_flow`` exactly.
+
+    Returns ``(total, bfs_passes, augments)`` like the pure tier -- the
+    work counters feed the :mod:`repro.obs` telemetry and are identical
+    across tiers by construction.
+    """
     n = adj_start.shape[0] - 1
     total = 0.0
+    bfs_passes = 0
+    augments = 0
     level = np.empty(n, np.int64)
     it = np.empty(n, np.int64)
     queue = np.empty(n, np.int64)
@@ -69,8 +76,9 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                         nxt_end += 1
             layer_start = layer_end
             layer_end = nxt_end
+        bfs_passes += 1
         if level[sink] < 0:
-            return total
+            return total, bfs_passes, augments
 
         # --- iterative DFS: push a blocking flow ----------------------
         it[:] = adj_start[:n]
@@ -87,6 +95,7 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                     cap[arc] -= pushed
                     cap[arc ^ 1] += pushed
                 total += pushed
+                augments += 1
                 # retreat to just before the first saturated arc
                 for i in range(plen):
                     arc = path[i]
@@ -119,7 +128,11 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
 
 
 def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Highest-label + gap push-relabel; mirrors the pure tier exactly."""
+    """Highest-label + gap push-relabel; mirrors the pure tier exactly.
+
+    Returns ``(value, pushes, relabels)`` like the pure tier (telemetry
+    work counters, tier-identical).
+    """
     n = adj_start.shape[0] - 1
 
     finite_total = 0.0
@@ -144,6 +157,8 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
     queued = np.zeros(n, np.uint8)
     highest = -1
     cursor = adj_start[:n].copy()
+    pushes = 0
+    relabels = 0
 
     for idx in range(adj_start[source], adj_start[source + 1]):
         arc = adj_arcs[idx]
@@ -187,6 +202,7 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                 height[u] = min_height + 1
                 count[min_height + 1] += 1
                 cursor[u] = adj_start[u]
+                relabels += 1
                 if count[old_h] == 0 and old_h < n:
                     for v in range(n):
                         hv = height[v]
@@ -215,6 +231,7 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                 cap[arc ^ 1] += delta
                 excess[u] -= delta
                 excess[v] += delta
+                pushes += 1
                 if v != source and v != sink and queued[v] == 0:
                     queued[v] = 1
                     hv = height[v]
@@ -224,14 +241,18 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                         highest = hv
             else:
                 cursor[u] += 1
-    return excess[sink]
+    return excess[sink], pushes, relabels
 
 
 def ggt_retreat(
     head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
     num_nodes, source, alpha,
 ):
-    """Clamp over-full alpha arcs and drain the excess back to the source."""
+    """Clamp over-full alpha arcs and drain the excess back to the source.
+
+    Returns ``(clamped, drain_paths)`` like the pure tier (telemetry
+    work counters, tier-identical).
+    """
     na = alpha_arcs.shape[0]
     exc_node = np.empty(na, np.int64)
     exc_amount = np.empty(na, np.float64)
@@ -253,6 +274,7 @@ def ggt_retreat(
     parent = np.empty(num_nodes, np.int64)
     stack = np.empty(num_nodes, np.int64)
     path = np.empty(num_nodes + 1, np.int64)
+    drain_paths = 0
     for e in range(ne):
         node = exc_node[e]
         remaining = exc_amount[e]
@@ -293,6 +315,8 @@ def ggt_retreat(
                 cap[arc] -= push
                 cap[arc ^ 1] += push
             remaining -= push
+            drain_paths += 1
+    return ne, drain_paths
 
 
 def bucket_peel(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):

@@ -46,7 +46,15 @@ def dinic_levels(head, cap, adj_start, adj_arcs, n, source, sink):
 
 
 def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, levels_fn=None):
-    """Dinic over the flat arc arrays; returns the flow pushed.
+    """Dinic over the flat arc arrays; returns ``(total, bfs_passes,
+    augments)``.
+
+    ``total`` is the flow pushed; ``bfs_passes`` counts the level-graph
+    constructions (Dinic phases) and ``augments`` the augmenting paths
+    of the blocking flows -- pure work counters for the telemetry layer
+    (:mod:`repro.obs`), identical across accel tiers because every tier
+    executes the same traversal.  The :mod:`repro.accel` dispatcher
+    strips them; engine callers still see a plain float.
 
     ``levels_fn`` lets the numpy tier swap in its vectorised BFS while
     sharing this blocking-flow DFS (level *values* at the nodes the DFS
@@ -58,12 +66,15 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, levels_fn=None)
         levels_fn = dinic_levels
     n = len(adj_start) - 1
     total = 0.0
+    bfs_passes = 0
+    augments = 0
 
     while True:
         # --- BFS: build the level graph ------------------------------
         level = levels_fn(head, cap, adj_start, adj_arcs, n, source, sink)
+        bfs_passes += 1
         if level[sink] < 0:
-            return total
+            return total, bfs_passes, augments
 
         # --- iterative DFS: push a blocking flow ----------------------
         it = adj_start[:n]  # per-node cursor into adj_arcs
@@ -79,6 +90,7 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, levels_fn=None)
                     cap[arc] -= pushed
                     cap[arc ^ 1] += pushed
                 total += pushed
+                augments += 1
                 # retreat to just before the first saturated arc
                 for i, arc in enumerate(path):
                     if cap[arc] <= EPS:
@@ -114,7 +126,14 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, levels_fn=None)
 
 
 def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Highest-label push-relabel with the gap heuristic; returns the value.
+    """Highest-label push-relabel with the gap heuristic; returns
+    ``(value, pushes, relabels)``.
+
+    ``pushes`` and ``relabels`` count the discharge-loop operations
+    (admissible pushes and height lifts) for the telemetry layer; the
+    :mod:`repro.accel` dispatcher strips them, engine callers see the
+    float alone.  Counting is tier-identical: every tier runs the same
+    discharge order.
 
     Active nodes live in per-height intrusive stacks and the highest one
     is discharged to exhaustion (relabels keep it selected, since its
@@ -155,6 +174,8 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
     queued = bytearray(n)
     highest = -1
     cursor = adj_start[:n]  # per-node cursor into adj_arcs
+    pushes = 0
+    relabels = 0
 
     # Saturate all source arcs.
     for idx in range(adj_start[source], adj_start[source + 1]):
@@ -200,6 +221,7 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                 height[u] = min_height + 1
                 count[min_height + 1] += 1
                 cursor[u] = adj_start[u]
+                relabels += 1
                 if count[old_h] == 0 and old_h < n:
                     # gap: lift every node strictly inside (old_h, n) --
                     # including u itself -- to n + 1 and rebuild the
@@ -233,6 +255,7 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                 cap[arc ^ 1] += delta
                 excess[u] -= delta
                 excess[v] += delta
+                pushes += 1
                 if v != source and v != sink and not queued[v]:
                     queued[v] = 1
                     hv = height[v]
@@ -242,7 +265,7 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
                         highest = hv
             else:
                 cursor[u] += 1
-    return excess[sink]
+    return excess[sink], pushes, relabels
 
 
 # --------------------------------------------------------------------
@@ -256,8 +279,10 @@ def _drain_to_source(head, cap, adj_start, adj_arcs, num_nodes, source, node, am
     Repeated residual-path search (node -> source, DFS) with path
     augmentation; the excess always drains fully when it came from
     clamping a feasible flow (flow decomposition guarantees the reverse
-    arcs of its paths carry enough residual).
+    arcs of its paths carry enough residual).  Returns the number of
+    drain paths pushed (the telemetry work counter).
     """
+    paths = 0
     remaining = amount
     while remaining > EPS:
         parent = [-2] * num_nodes  # arc that discovered each node
@@ -291,7 +316,8 @@ def _drain_to_source(head, cap, adj_start, adj_arcs, num_nodes, source, node, am
             cap[arc] -= push
             cap[arc ^ 1] += push
         remaining -= push
-    return amount - remaining
+        paths += 1
+    return paths
 
 
 def ggt_retreat(
@@ -304,7 +330,9 @@ def ggt_retreat(
     to saturation and the difference drained from the arc's tail back to
     the source; arcs still under capacity just have their residual
     recomputed.  Mutates ``cap`` in place; the state on exit is a
-    feasible warm flow at the new alpha.
+    feasible warm flow at the new alpha.  Returns ``(clamped,
+    drain_paths)`` -- the telemetry work counters (tier-identical); the
+    :mod:`repro.accel` dispatcher strips them.
     """
     excess: list[tuple[int, float]] = []
     for i in range(len(alpha_arcs)):
@@ -318,8 +346,12 @@ def ggt_retreat(
             excess.append((head[a ^ 1], flow - new_cap))
         else:
             cap[a] = new_cap - flow
+    drain_paths = 0
     for node, amount in excess:
-        _drain_to_source(head, cap, adj_start, adj_arcs, num_nodes, source, node, amount)
+        drain_paths += _drain_to_source(
+            head, cap, adj_start, adj_arcs, num_nodes, source, node, amount
+        )
+    return len(excess), drain_paths
 
 
 def ggt_advance(cap, base_cap, alpha_arcs, alpha_coeff, alpha):

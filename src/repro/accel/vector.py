@@ -30,8 +30,19 @@ else:
         np = None
 
 #: Arc-array length above which the vectorised BFS pays for its
-#: per-call numpy overhead (tuned on the bench surrogates).
+#: per-call numpy overhead (tuned on the bench surrogates).  Read at
+#: every call, so tests and the dispatch-probe bench can override it at
+#: runtime.  Known-wrong on warm GGT solves -- see the ROADMAP "kernel
+#: autotuning" item and ``benchmarks/out/bfs_dispatch_note.txt``; the
+#: per-solve telemetry (:data:`LAST_BFS_MODE` flowing into the
+#: ``flow.solve`` events of :mod:`repro.obs`) records the data an
+#: autotuner needs to fix it.
 NUMPY_BFS_MIN_ARCS = 8192
+
+#: BFS implementation the most recent :func:`dinic_max_flow` call chose
+#: (``"numpy"`` or ``"scalar"``) -- the telemetry side channel the accel
+#: dispatcher copies into the per-solve flow records.
+LAST_BFS_MODE = "scalar"
 
 
 def _levels_numpy(head_np, tail_np, cap, n, source, sink):
@@ -52,9 +63,15 @@ def _levels_numpy(head_np, tail_np, cap, n, source, sink):
 
 
 def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Dinic with the numpy BFS above :data:`NUMPY_BFS_MIN_ARCS` arcs."""
+    """Dinic with the numpy BFS above :data:`NUMPY_BFS_MIN_ARCS` arcs.
+
+    Returns ``(total, bfs_passes, augments)`` like the pure tier.
+    """
+    global LAST_BFS_MODE
     if np is None or len(head) < NUMPY_BFS_MIN_ARCS:
+        LAST_BFS_MODE = "scalar"
         return pure.dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs)
+    LAST_BFS_MODE = "numpy"
     head_np = np.asarray(head, dtype=np.int64)
     tail_np = head_np.reshape(-1, 2)[:, ::-1].reshape(-1)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from . import obs
 from .cliques.index import CliqueIndex
 from .core.core_app import core_app_densest
 from .core.core_exact import core_exact_densest
@@ -135,4 +136,10 @@ def densest_subgraph(
         raise ValueError(
             f"unknown method {method!r}; choose from {sorted(dispatch) + ['auto']}"
         ) from None
-    return run()
+    with obs.span(
+        "api.densest_subgraph",
+        method=method,
+        psi=pattern.name if not pattern.is_clique() else pattern.size,
+        n=graph.num_vertices,
+    ):
+        return run()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
+from .. import obs
 from ..graph.graph import Graph, Vertex
 from . import kernels
 
@@ -84,30 +85,40 @@ class CliqueIndex:
         id_of = {v: i for i, v in enumerate(self.vertices)}
         self._id_of = id_of
 
-        if instances is None:
-            self.inst: list[int] = kernels.clique_rows(graph, h, id_of, use_numpy)
-            self.canonical = True
-        else:
-            flat: list[int] = []
-            for inst in instances:
-                if len(inst) != h:
-                    raise ValueError(
-                        f"instance {inst!r} has {len(inst)} members, expected h={h}"
-                    )
-                for v in inst:
-                    vid = id_of.get(v)
-                    if vid is None:  # instance member outside the graph
-                        vid = id_of[v] = len(self.vertices)
-                        self.vertices.append(v)
-                    flat.append(vid)
-            self.inst = flat
-            self.canonical = False
+        with obs.span("cliques.index.build", h=h, n=len(self.vertices)) as sp:
+            if instances is None:
+                self.inst: list[int] = kernels.clique_rows(graph, h, id_of, use_numpy)
+                self.canonical = True
+                kernel = kernels.LAST_KERNEL
+            else:
+                flat: list[int] = []
+                for inst in instances:
+                    if len(inst) != h:
+                        raise ValueError(
+                            f"instance {inst!r} has {len(inst)} members, expected h={h}"
+                        )
+                    for v in inst:
+                        vid = id_of.get(v)
+                        if vid is None:  # instance member outside the graph
+                            vid = id_of[v] = len(self.vertices)
+                            self.vertices.append(v)
+                        flat.append(vid)
+                self.inst = flat
+                self.canonical = False
+                kernel = "explicit"
 
-        self.m = len(self.inst) // h if h else 0
-        self._build_incidence()
+            self.m = len(self.inst) // h if h else 0
+            self._build_incidence()
         self.alive = bytearray(b"\x01") * self.m
         self.num_alive = self.m
         self._np_rows = None
+        if obs.ENABLED:
+            obs.event(
+                "cliques.index",
+                h=h, n=len(self.vertices), m=self.m,
+                incidence=len(self.inc_ids), kernel=kernel,
+                seconds=sp.seconds,
+            )
 
     # --- construction helpers -----------------------------------------
 
@@ -297,6 +308,12 @@ class CliqueIndex:
         sub.alive = bytearray(b"\x01") * sub.m
         sub.num_alive = sub.m
         sub._np_rows = None
+        if obs.ENABLED:
+            obs.event(
+                "cliques.subindex",
+                h=h, n=len(sub.vertices), m=sub.m, parent_m=self.m,
+                incidence=len(sub.inc_ids),
+            )
         return sub
 
     # --- mutable peel layer (Algorithm 3 / PeelApp) -------------------

@@ -57,6 +57,12 @@ _CHUNK = 1 << 22
 #: back to binary search on the sorted edge-key array.
 _BITMAP_MAX_CELLS = 1 << 24
 
+#: Kernel family the most recent :func:`clique_rows` call used
+#: (``"numpy"`` or ``"python"``) -- the telemetry side channel
+#: :class:`repro.cliques.index.CliqueIndex` copies into its
+#: ``cliques.index`` build events.
+LAST_KERNEL = "python"
+
 
 def have_numpy() -> bool:
     """Whether the vectorised kernels are available (and not disabled)."""
@@ -243,11 +249,13 @@ def clique_rows(
     ``[i*h, (i+1)*h)``, ascending within the row, rows lexicographic.
     Both kernel families produce bit-identical output (tested).
     """
+    global LAST_KERNEL
     if use_numpy is None:
         use_numpy = np is not None
     if use_numpy and np is None:
         raise RuntimeError("numpy kernels requested but numpy is unavailable")
     if use_numpy and h in (2, 3, 4):
+        LAST_KERNEL = "numpy"
         n = len(id_of)
         id_edges = _id_edges(graph, id_of)
         if h == 2:
@@ -257,4 +265,5 @@ def clique_rows(
         else:
             rows = k4_rows(n, id_edges)
         return rows.reshape(-1).tolist()
+    LAST_KERNEL = "python"
     return _rows_python(graph, h, id_of)

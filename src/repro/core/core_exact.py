@@ -26,6 +26,7 @@ import math
 import time
 from typing import Optional
 
+from .. import obs
 from ..cliques.index import CliqueIndex
 from ..flow import dinic
 from ..flow.builders import (
@@ -190,17 +191,19 @@ def core_exact_densest(
     if h < 2:
         raise ValueError("h must be >= 2")
 
-    if h >= 3 and index is None:
-        index = CliqueIndex(graph, h)
-    enum_seconds = time.perf_counter() - start
+    with obs.span("core_exact.enumeration", h=h) as enum_sp:
+        if h >= 3 and index is None:
+            index = CliqueIndex(graph, h)
+    enum_seconds = enum_sp.seconds
 
-    if decomposition is None:
-        decomposition = clique_core_decomposition(graph, h, index=index)
+    with obs.span("core_exact.decomposition", h=h) as decomp_sp:
+        if decomposition is None:
+            decomposition = clique_core_decomposition(graph, h, index=index)
     # Algorithm-3 cost as the paper accounts it (Table 3): instance
     # enumeration + peel.  ``enumeration_seconds`` is the subset spent
     # building the index, so ``decomposition_seconds -
     # enumeration_seconds`` is the pure peel share.
-    decomp_seconds = time.perf_counter() - start
+    decomp_seconds = enum_seconds + decomp_sp.seconds
 
     kmax = decomposition.kmax
     if kmax == 0:
@@ -260,135 +263,137 @@ def core_exact_densest(
     iterations = 0
     network_sizes: list[int] = []
     candidate: Optional[set[Vertex]] = None
-    flow_start = time.perf_counter()
-    # Densities already known from the decomposition and the component
-    # states seed the cache, so the finalists below rarely trigger a
-    # fresh row count.
-    density_cache: dict[frozenset, float] = {
-        frozenset(decomposition.best_residual_vertices): decomposition.best_residual_density
-    }
-    for comp_state in comp_states:
-        density_cache[frozenset(comp_state.graph.vertices())] = comp_state.density()
+    # The span's duration *is* the legacy ``flow_seconds`` stat, so
+    # trace and stats reconcile exactly.
+    with obs.span("core_exact.flow", engine=flow_engine, h=h) as flow_sp:
+        # Densities already known from the decomposition and the component
+        # states seed the cache, so the finalists below rarely trigger a
+        # fresh row count.
+        density_cache: dict[frozenset, float] = {
+            frozenset(decomposition.best_residual_vertices): decomposition.best_residual_density
+        }
+        for comp_state in comp_states:
+            density_cache[frozenset(comp_state.graph.vertices())] = comp_state.density()
 
-    def cached_density(vertices: set[Vertex]) -> float:
-        key = frozenset(vertices)
-        found = density_cache.get(key)
-        if found is None:
-            found = density_cache[key] = _subgraph_density(graph, vertices, h, index)
-        return found
+        def cached_density(vertices: set[Vertex]) -> float:
+            key = frozenset(vertices)
+            found = density_cache.get(key)
+            if found is None:
+                found = density_cache[key] = _subgraph_density(graph, vertices, h, index)
+            return found
 
-    def core_shrink(state: _ComponentState, level: float) -> _ComponentState:
-        """Intersect the component with the (⌈level⌉, Ψ)-core (Lemma 7)."""
-        need = math.ceil(level)
-        keep = {v for v in state.graph if decomposition.core.get(v, 0) >= need}
-        if len(keep) < state.num_vertices:
-            state = state.shrink(keep)
-        return state
+        def core_shrink(state: _ComponentState, level: float) -> _ComponentState:
+            """Intersect the component with the (⌈level⌉, Ψ)-core (Lemma 7)."""
+            need = math.ceil(level)
+            keep = {v for v in state.graph if decomposition.core.get(v, 0) >= need}
+            if len(keep) < state.num_vertices:
+                state = state.shrink(keep)
+            return state
 
-    def ggt_newton_walk(state: _ComponentState, low: float):
-        """Discrete-Newton breakpoint walk with mid-search core shrinks.
+        def ggt_newton_walk(state: _ComponentState, low: float):
+            """Discrete-Newton breakpoint walk with mid-search core shrinks.
 
-        The per-component half of :meth:`ParametricNetwork.max_density`,
-        lifted here so that every time the walk raises α past the next
-        integer, the component is re-intersected with the (⌈α⌉, Ψ)-core
-        (exactly the shrink the binary search performs on line 16) and
-        the remaining hops run on a smaller network.  Sound for the
-        same reason (Lemma 7): each iterate α is the exact density of a
-        real subgraph, hence a valid lower bound, and any denser
-        subgraph has all its clique-core numbers >= ⌈α⌉.  Returns
-        ``(cut, ρ, solves, state)``.
-        """
-        best: Optional[set[Vertex]] = None
-        best_rho = low
-        alpha = low
-        solves = 0
-        while True:
-            cut = state.solve(alpha)
-            solves += 1
-            network_sizes.append(state.network_nodes)
-            if not cut:
-                break
-            rho = state.density_of(cut)
-            if best is None or rho > best_rho:
-                best, best_rho = cut, rho
-            if rho <= alpha:
-                break  # float-exact optimum: the cut re-certifies itself
-            if math.ceil(rho) > math.ceil(alpha):
-                state = core_shrink(state, rho)
-                if state.num_vertices == 0:
+            The per-component half of :meth:`ParametricNetwork.max_density`,
+            lifted here so that every time the walk raises α past the next
+            integer, the component is re-intersected with the (⌈α⌉, Ψ)-core
+            (exactly the shrink the binary search performs on line 16) and
+            the remaining hops run on a smaller network.  Sound for the
+            same reason (Lemma 7): each iterate α is the exact density of a
+            real subgraph, hence a valid lower bound, and any denser
+            subgraph has all its clique-core numbers >= ⌈α⌉.  Returns
+            ``(cut, ρ, solves, state)``.
+            """
+            best: Optional[set[Vertex]] = None
+            best_rho = low
+            alpha = low
+            solves = 0
+            while True:
+                cut = state.solve(alpha)
+                solves += 1
+                network_sizes.append(state.network_nodes)
+                if not cut:
                     break
-            alpha = rho
-        return best, best_rho, solves, state
+                rho = state.density_of(cut)
+                if best is None or rho > best_rho:
+                    best, best_rho = cut, rho
+                if rho <= alpha:
+                    break  # float-exact optimum: the cut re-certifies itself
+                if math.ceil(rho) > math.ceil(alpha):
+                    state = core_shrink(state, rho)
+                    if state.num_vertices == 0:
+                        break
+                alpha = rho
+            return best, best_rho, solves, state
 
-    for state in sorted(comp_states, key=lambda s: -s.num_vertices):
-        # The upper bound must be per-component: infeasibility inside one
-        # component says nothing about another, while kmax bounds every
-        # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
-        # across components; resetting it is the sound reading.)
-        high = float(kmax)
-        # line 6: if the global lower bound outgrew this core level,
-        # intersect the component with the (⌈l⌉, Ψ)-core.
-        if low > k_locate:
-            state = core_shrink(state, low)
-        if state.num_vertices == 0:
-            continue
-
-        if flow_engine == "ggt":
-            # One parametric sweep replaces probe + binary search: the
-            # Newton walk starts at the global lower bound l (solving at
-            # l IS the feasibility probe) and ends at the component's
-            # exact optimal density, raising l for later components.
-            cut, rho, solves, state = ggt_newton_walk(state, low)
-            iterations += solves
-            if not cut:
+        for state in sorted(comp_states, key=lambda s: -s.num_vertices):
+            # The upper bound must be per-component: infeasibility inside one
+            # component says nothing about another, while kmax bounds every
+            # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
+            # across components; resetting it is the sound reading.)
+            high = float(kmax)
+            # line 6: if the global lower bound outgrew this core level,
+            # intersect the component with the (⌈l⌉, Ψ)-core.
+            if low > k_locate:
+                state = core_shrink(state, low)
+            if state.num_vertices == 0:
                 continue
-            density_cache.setdefault(frozenset(cut), rho)
-            if rho > low:
-                low = rho
-            if candidate is None or cached_density(cut) > cached_density(candidate):
-                candidate = cut
-            continue
 
-        # lines 7-9: feasibility probe at α = l.
-        probe = state.solve(low)
-        network_sizes.append(state.network_nodes)
-        iterations += 1
-        if not probe:
-            continue
-        candidate_local = probe
-        state.checkpoint()  # all later guesses exceed l: warm-start base
+            if flow_engine == "ggt":
+                # One parametric sweep replaces probe + binary search: the
+                # Newton walk starts at the global lower bound l (solving at
+                # l IS the feasibility probe) and ends at the component's
+                # exact optimal density, raising l for later components.
+                cut, rho, solves, state = ggt_newton_walk(state, low)
+                iterations += solves
+                if not cut:
+                    continue
+                density_cache.setdefault(frozenset(cut), rho)
+                if rho > low:
+                    low = rho
+                if candidate is None or cached_density(cut) > cached_density(candidate):
+                    candidate = cut
+                continue
 
-        # lines 10-19: binary search within the component.
-        while True:
-            nc = state.num_vertices
-            resolution = (
-                1.0 / (nc * (nc - 1)) if pruning3 and nc > 1 else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
-            )
-            if high - low < resolution:
-                break
-            alpha = (low + high) / 2.0
-            cut_vertices = state.solve(alpha)
+            # lines 7-9: feasibility probe at α = l.
+            probe = state.solve(low)
             network_sizes.append(state.network_nodes)
             iterations += 1
-            if not cut_vertices:
-                high = alpha
-            else:
-                if alpha > math.ceil(low):
-                    state = core_shrink(state, alpha)
-                low = alpha
-                candidate_local = cut_vertices
-                state.checkpoint()
+            if not probe:
+                continue
+            candidate_local = probe
+            state.checkpoint()  # all later guesses exceed l: warm-start base
 
-        if candidate_local:
-            if candidate is None or cached_density(candidate_local) > cached_density(candidate):
-                candidate = candidate_local
+            # lines 10-19: binary search within the component.
+            while True:
+                nc = state.num_vertices
+                resolution = (
+                    1.0 / (nc * (nc - 1)) if pruning3 and nc > 1 else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
+                )
+                if high - low < resolution:
+                    break
+                alpha = (low + high) / 2.0
+                cut_vertices = state.solve(alpha)
+                network_sizes.append(state.network_nodes)
+                iterations += 1
+                if not cut_vertices:
+                    high = alpha
+                else:
+                    if alpha > math.ceil(low):
+                        state = core_shrink(state, alpha)
+                    low = alpha
+                    candidate_local = cut_vertices
+                    state.checkpoint()
 
-    # --- pick the best of: binary-search result, Pruning1/2 seeds -----
-    finalists = [best_vertices]
-    if candidate:
-        finalists.append(candidate)
-    best = max(finalists, key=cached_density)
-    density = cached_density(best)
+            if candidate_local:
+                if candidate is None or cached_density(candidate_local) > cached_density(candidate):
+                    candidate = candidate_local
+
+        # --- pick the best of: binary-search result, Pruning1/2 seeds -----
+        finalists = [best_vertices]
+        if candidate:
+            finalists.append(candidate)
+        best = max(finalists, key=cached_density)
+        density = cached_density(best)
     total_seconds = time.perf_counter() - start
     return DensestSubgraphResult(
         vertices=set(best),
@@ -399,7 +404,7 @@ def core_exact_densest(
             "network_sizes": network_sizes,
             "decomposition_seconds": decomp_seconds,
             "enumeration_seconds": enum_seconds,
-            "flow_seconds": time.perf_counter() - flow_start,
+            "flow_seconds": flow_sp.seconds,
             "total_seconds": total_seconds,
             "kmax": kmax,
             "k_locate": k_locate,

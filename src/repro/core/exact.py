@@ -10,10 +10,10 @@ implementation that CoreExact must beat.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import obs
 from ..cliques.index import CliqueIndex
 from ..flow import dinic
 from ..flow.builders import (
@@ -132,14 +132,14 @@ def exact_densest(
     if h < 2:
         raise ValueError("h must be >= 2")
 
-    enum_start = time.perf_counter()
-    if h >= 3 and index is None:
-        index = CliqueIndex(graph, h)
-    if h == 2:
-        degrees = {v: graph.degree(v) for v in graph}
-    else:
-        degrees = index.initial_degrees()
-    enum_seconds = time.perf_counter() - enum_start
+    with obs.span("exact.enumeration", h=h) as enum_sp:
+        if h >= 3 and index is None:
+            index = CliqueIndex(graph, h)
+        if h == 2:
+            degrees = {v: graph.degree(v) for v in graph}
+        else:
+            degrees = index.initial_degrees()
+    enum_seconds = enum_sp.seconds
 
     upper = max(degrees.values(), default=0)
     if upper == 0:
@@ -147,70 +147,64 @@ def exact_densest(
             set(graph.vertices()), 0.0, "Exact", stats={"enumeration_seconds": enum_seconds}
         )
 
-    flow_start = time.perf_counter()
-    net = None
-    if flow_engine in ("reuse", "ggt"):
-        if h == 2:
-            net = build_eds_parametric(graph)
-        else:
-            net = build_cds_parametric(graph, h, index=index)
-
-    if flow_engine == "ggt":
-        if h == 2:
-            density_of = lambda s: graph.subgraph(s).num_edges / len(s)
-        else:
-            density_of = index.density_within
-        cut, rho, solves = net.max_density(density_of, low=0.0)
-        if cut:
-            best, density = cut, rho  # ρ is the exact count/size ratio
-        else:
-            best = set(graph.vertices())
-            density = _best_subgraph_density(graph, best, h, index)
-        return DensestSubgraphResult(
-            vertices=best,
-            density=density,
-            method="Exact",
-            iterations=solves,
-            stats={
-                "network_sizes": [net.num_nodes] * solves,
-                "enumeration_seconds": enum_seconds,
-                "flow_seconds": time.perf_counter() - flow_start,
-            },
-        )
-
-    low, high = 0.0, float(upper)
-    best: Optional[set[Vertex]] = None
-    iterations = 0
-    resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
-    network_sizes: list[int] = []
-
-    while high - low >= resolution:
-        iterations += 1
-        alpha = (low + high) / 2.0
-        if net is not None:
-            cut_vertices = net.solve(alpha)
-            network_sizes.append(net.num_nodes)
-        else:
+    # The span's duration *is* the legacy ``flow_seconds`` stat (network
+    # construction included), so trace and stats reconcile exactly.
+    with obs.span("exact.flow", engine=flow_engine, h=h) as flow_sp:
+        net = None
+        if flow_engine in ("reuse", "ggt"):
             if h == 2:
-                network = build_eds_network(graph, alpha)
+                net = build_eds_parametric(graph)
             else:
-                network = build_cds_network(graph, h, alpha, index=index)
-            network_sizes.append(network.num_nodes)
-            dinic.max_flow(network)
-            cut_vertices = vertices_of_cut(network.min_cut_source_side())
-        if not cut_vertices:
-            high = alpha
-        else:
-            low = alpha
-            best = cut_vertices
-            if net is not None:
-                net.checkpoint()
+                net = build_cds_parametric(graph, h, index=index)
 
-    if best is None:
-        # ρ_opt below the first guess resolution: densest is the max-degree
-        # vertex's best trivial subgraph; fall back to the whole graph.
-        best = set(graph.vertices())
-    density = _best_subgraph_density(graph, best, h, index)
+        if flow_engine == "ggt":
+            if h == 2:
+                density_of = lambda s: graph.subgraph(s).num_edges / len(s)
+            else:
+                density_of = index.density_within
+            cut, rho, iterations = net.max_density(density_of, low=0.0)
+            network_sizes = [net.num_nodes] * iterations
+            if cut:
+                best, density = cut, rho  # ρ is the exact count/size ratio
+            else:
+                best = set(graph.vertices())
+                density = _best_subgraph_density(graph, best, h, index)
+        else:
+            low, high = 0.0, float(upper)
+            best: Optional[set[Vertex]] = None
+            iterations = 0
+            resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
+            network_sizes: list[int] = []
+
+            while high - low >= resolution:
+                iterations += 1
+                alpha = (low + high) / 2.0
+                if net is not None:
+                    cut_vertices = net.solve(alpha)
+                    network_sizes.append(net.num_nodes)
+                else:
+                    if h == 2:
+                        network = build_eds_network(graph, alpha)
+                    else:
+                        network = build_cds_network(graph, h, alpha, index=index)
+                    network_sizes.append(network.num_nodes)
+                    dinic.max_flow(network)
+                    cut_vertices = vertices_of_cut(network.min_cut_source_side())
+                if not cut_vertices:
+                    high = alpha
+                else:
+                    low = alpha
+                    best = cut_vertices
+                    if net is not None:
+                        net.checkpoint()
+
+            if best is None:
+                # ρ_opt below the first guess resolution: densest is the
+                # max-degree vertex's best trivial subgraph; fall back to
+                # the whole graph.
+                best = set(graph.vertices())
+            density = _best_subgraph_density(graph, best, h, index)
+
     return DensestSubgraphResult(
         vertices=best,
         density=density,
@@ -219,6 +213,6 @@ def exact_densest(
         stats={
             "network_sizes": network_sizes,
             "enumeration_seconds": enum_seconds,
-            "flow_seconds": time.perf_counter() - flow_start,
+            "flow_seconds": flow_sp.seconds,
         },
     )

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
-from .. import accel
+from .. import accel, obs
 from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
 from .exact import DensestSubgraphResult
@@ -130,12 +130,13 @@ def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> 
     best_vertices = set(graph.vertices())
     iterations = 0
 
-    for _, alive, num_alive in min_degree_peel(graph, index):
-        iterations += 1
-        density = num_alive / len(alive)
-        if density > best_density:
-            best_density = density
-            best_vertices = set(alive)
+    with obs.span("peel.run", h=h, n=n, m=index.num_alive):
+        for _, alive, num_alive in min_degree_peel(graph, index):
+            iterations += 1
+            density = num_alive / len(alive)
+            if density > best_density:
+                best_density = density
+                best_vertices = set(alive)
 
     return DensestSubgraphResult(
         vertices=best_vertices,

@@ -11,7 +11,14 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Sequence
 
+from .. import obs
 from ..graph.graph import Graph
+from ..obs import env_fingerprint  # re-export: bench cells stamp this
+
+__all__ = [
+    "timed", "profiled", "env_fingerprint", "format_table", "print_table",
+    "truncate_graph",
+]
 
 
 def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
@@ -19,6 +26,30 @@ def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def profiled(fn: Callable, *args, **kwargs) -> tuple[object, float, dict]:
+    """Run ``fn`` under a fresh trace; return ``(result, seconds, summary)``.
+
+    Enables the in-memory collector (clearing any prior records), runs
+    the callable, and returns :func:`repro.obs.summary` alongside the
+    wall time -- the hook the bench cells use to attach per-cell trace
+    rollups (flow warm/cold mix, per-tier solve counts, kernel work
+    counters) to their JSON artifacts.  Tracing is restored to its
+    previous state afterwards, so profiled cells compose with plain
+    :func:`timed` cells in one process.
+    """
+    was_enabled = obs.enabled()
+    obs.enable(fresh=True)
+    try:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        seconds = time.perf_counter() - start
+        summary = obs.summary()
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return result, seconds, summary
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:

@@ -21,7 +21,18 @@ from __future__ import annotations
 
 from .. import accel
 
-__all__ = ["max_flow", "min_cut"]
+__all__ = ["max_flow", "min_cut", "solve_stats"]
+
+
+def solve_stats() -> dict:
+    """Work counters of the most recent traced max-flow call.
+
+    A copy of :data:`repro.accel.last_solve` (kernel, tier, arcs,
+    bfs_passes, augments, bfs_mode, seconds).  Populated only while
+    tracing is enabled (``obs.enable()`` / ``REPRO_TRACE``); empty
+    otherwise.
+    """
+    return dict(accel.last_solve)
 
 
 def max_flow(network) -> float:

@@ -57,9 +57,10 @@ warm chain.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
-from .. import accel
+from .. import accel, obs
 from .network import EPS, build_csr, source_reachable
 
 
@@ -252,14 +253,24 @@ class ParametricNetwork:
         return self.cut_vertices()
 
     def _solve_residual(self, alpha: float, solver=None) -> None:
-        """Warm-start to ``alpha`` and run the solver; no cut extraction."""
+        """Warm-start to ``alpha`` and run the solver; no cut extraction.
+
+        When tracing is on (:data:`repro.obs.ENABLED`) each call emits
+        one ``flow.solve`` event carrying α, the warm-start mode chosen
+        by the decision chain below, the engine, the active kernel tier,
+        the network size, the wall time, and the kernel work counters
+        (BFS passes / augments for Dinic, pushes / relabels for
+        push-relabel) read back from :data:`repro.accel.last_solve`.
+        """
+        t0 = time.perf_counter() if obs.ENABLED else 0.0
         if self._alpha is not None and alpha == self._alpha:
-            pass  # residual state is already a max flow at this α
+            mode = "noop"  # residual state is already a max flow at this α
         elif (
             self._alpha is not None
             and alpha >= self._alpha
             and self._warm_step_ok(alpha - self._alpha)
         ):
+            mode = "advance"
             self._advance_alpha(alpha)
         elif (
             self._checkpoint_cap is not None
@@ -267,6 +278,7 @@ class ParametricNetwork:
             and alpha >= self._checkpoint_alpha
             and self._warm_step_ok(alpha - self._checkpoint_alpha)
         ):
+            mode = "checkpoint"
             self.cap = list(self._checkpoint_cap)
             self._alpha = self._checkpoint_alpha
             self._advance_alpha(alpha)
@@ -275,14 +287,34 @@ class ParametricNetwork:
             and alpha < self._alpha
             and self._warm_step_ok(self._alpha - alpha)
         ):
+            mode = "retreat"
             self._retreat_alpha(alpha)
         else:
+            mode = "cold"
             self.set_alpha(alpha)
         if solver is None:
             from . import dinic as solver  # late import avoids a cycle
         solver.max_flow(self)
         if self._canceled:
             self._uncancel()
+        if obs.ENABLED:
+            work = dict(accel.last_solve)
+            fields = {
+                "alpha": alpha,
+                "mode": mode,
+                "engine": solver.__name__.rsplit(".", 1)[-1],
+                "tier": work.pop("tier", accel.TIER),
+                "nodes": self.num_nodes,
+                "arcs": self.num_arcs,
+                "seconds": time.perf_counter() - t0,
+            }
+            work.pop("kernel", None)
+            work.pop("arcs", None)
+            work.pop("seconds", None)
+            fields.update(work)  # bfs_mode + kernel work counters
+            obs.event(obs.FLOW_SOLVE, **fields)
+            obs.counter("flow.solves")
+            obs.counter(f"flow.solves.{mode}")
 
     # --- breakpoint drivers (GGT) ------------------------------------
 

@@ -1,0 +1,150 @@
+"""Schema validation for JSONL trace files.
+
+A trace (as written by ``obs.enable(sink=path)`` / ``REPRO_TRACE=path``)
+is one JSON object per line.  Four record types:
+
+``meta``
+    The header: ``{"type": "meta", "env": {...}, "clock": str}``.
+    ``env`` must carry the fingerprint keys (python, platform, numpy,
+    numba, numba_available, active_tier, kernel_tiers).
+``span``
+    A closed timed scope: name (str), seq (int >= 1), depth (int >= 0),
+    parent (str or null), dur_s (float >= 0), optional attrs (object).
+``event``
+    A one-shot record: name (str), seq, depth, fields (object).
+    ``flow.solve`` events additionally must carry alpha (number),
+    mode (one of the warm modes or "cold"), tier (str), nodes / arcs
+    (ints).
+``summary``
+    The trailer: the :meth:`repro.obs.Collector.summary` rollup keys
+    (env, spans, events, counters, flow).
+
+Hand-rolled on purpose: no jsonschema dependency, and the checks double
+as executable documentation of the trace format.  CLI::
+
+    python -m repro.obs.validate trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable
+
+ENV_KEYS = (
+    "python", "platform", "numpy", "numba", "numba_available", "active_tier",
+    "kernel_tiers",
+)
+FLOW_SOLVE_KEYS = ("alpha", "mode", "tier", "nodes", "arcs")
+FLOW_MODES = ("noop", "advance", "checkpoint", "retreat", "cold")
+SUMMARY_KEYS = ("env", "spans", "events", "counters", "flow")
+
+
+def _check(cond: bool, errors: list, lineno: int, message: str) -> None:
+    if not cond:
+        errors.append(f"line {lineno}: {message}")
+
+
+def validate_records(lines: Iterable[str]) -> tuple[int, list[str]]:
+    """Validate trace lines; returns ``(record_count, errors)``."""
+    errors: list[str] = []
+    count = 0
+    last_seq = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(rec, dict):
+            errors.append(f"line {lineno}: not a JSON object")
+            continue
+        kind = rec.get("type")
+        if kind == "meta":
+            env = rec.get("env")
+            _check(isinstance(env, dict), errors, lineno, "meta.env must be an object")
+            if isinstance(env, dict):
+                for key in ENV_KEYS:
+                    _check(key in env, errors, lineno, f"meta.env missing {key!r}")
+        elif kind == "span":
+            _check(isinstance(rec.get("name"), str), errors, lineno, "span.name must be str")
+            seq = rec.get("seq")
+            _check(isinstance(seq, int) and seq >= 1, errors, lineno, "span.seq must be int >= 1")
+            if isinstance(seq, int):
+                _check(seq > last_seq, errors, lineno, "span.seq must increase")
+                last_seq = max(last_seq, seq)
+            depth = rec.get("depth")
+            _check(
+                isinstance(depth, int) and depth >= 0, errors, lineno,
+                "span.depth must be int >= 0",
+            )
+            _check(
+                rec.get("parent") is None or isinstance(rec["parent"], str),
+                errors, lineno, "span.parent must be str or null",
+            )
+            dur = rec.get("dur_s")
+            _check(
+                isinstance(dur, (int, float)) and dur >= 0, errors, lineno,
+                "span.dur_s must be a number >= 0",
+            )
+            _check(
+                "attrs" not in rec or isinstance(rec["attrs"], dict),
+                errors, lineno, "span.attrs must be an object",
+            )
+        elif kind == "event":
+            _check(isinstance(rec.get("name"), str), errors, lineno, "event.name must be str")
+            seq = rec.get("seq")
+            _check(isinstance(seq, int) and seq >= 1, errors, lineno, "event.seq must be int >= 1")
+            if isinstance(seq, int):
+                _check(seq > last_seq, errors, lineno, "event.seq must increase")
+                last_seq = max(last_seq, seq)
+            fields = rec.get("fields")
+            _check(isinstance(fields, dict), errors, lineno, "event.fields must be an object")
+            if rec.get("name") == "flow.solve" and isinstance(fields, dict):
+                for key in FLOW_SOLVE_KEYS:
+                    _check(key in fields, errors, lineno, f"flow.solve missing {key!r}")
+                _check(
+                    fields.get("mode") in FLOW_MODES, errors, lineno,
+                    f"flow.solve mode must be one of {FLOW_MODES}",
+                )
+                _check(
+                    isinstance(fields.get("alpha"), (int, float)), errors, lineno,
+                    "flow.solve alpha must be a number",
+                )
+        elif kind == "summary":
+            for key in SUMMARY_KEYS:
+                _check(key in rec, errors, lineno, f"summary missing {key!r}")
+        else:
+            errors.append(f"line {lineno}: unknown record type {kind!r}")
+    if count == 0:
+        errors.append("trace is empty")
+    return count, errors
+
+
+def validate_trace(path: str) -> tuple[int, list[str]]:
+    """Validate the JSONL trace file at ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_records(handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.jsonl>", file=sys.stderr)
+        return 2
+    count, errors = validate_trace(argv[0])
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"INVALID: {len(errors)} error(s) in {count} record(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {count} schema-valid record(s) in {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

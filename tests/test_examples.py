@@ -22,7 +22,7 @@ def load_example(name: str):
     return module
 
 
-@pytest.mark.parametrize("name", ["quickstart", "community_query"])
+@pytest.mark.parametrize("name", ["quickstart", "community_query", "trace_run"])
 def test_fast_examples_run(name, capsys):
     module = load_example(name)
     module.main()
