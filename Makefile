@@ -3,10 +3,16 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-clique-index bench-smoke bench ablation bench-accel trace-smoke lint
+.PHONY: test test-checked test-clique-index bench-smoke bench ablation bench-accel trace-smoke chaos-smoke lint
 
 test:
 	$(PY) -m pytest -x -q
+
+# The full suite with the invariant sanitizer armed: every flow solve is
+# audited for conservation/capacity/duality and every result density is
+# recomputed from scratch (REPRO_CHECK=1; see repro/guard/sanitize.py).
+test-checked:
+	REPRO_CHECK=1 $(PY) -m pytest -x -q
 
 # The clique-index property suite on its own (CI also runs it with
 # REPRO_NO_NUMPY=1 to pin the pure-python kernel path explicitly).
@@ -48,6 +54,13 @@ bench-accel:
 # non-zero on any schema error or stats mismatch).
 trace-smoke:
 	$(PY) -m repro.obs.smoke benchmarks/out/trace_smoke.jsonl
+
+# Fault-injection / budget-degradation / sanitizer smoke: makes every
+# accel kernel with a fallback tier fail mid-run and asserts the solve
+# completes bit-identically, then checks the degradation and sanitizer
+# contracts (repro/guard/chaos.py; exits non-zero on any violation).
+chaos-smoke:
+	$(PY) -m repro.guard.chaos
 
 # Fast syntax/undefined-name lint (CI runs it before the test matrix).
 lint:

@@ -447,24 +447,28 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
     :data:`repro.accel.vector.NUMPY_BFS_MIN_ARCS` was tuned on *cold*
     saturating solves; the GGT walk is dominated by warm re-solves whose
     level graphs die after a couple of BFS passes, where the vectorised
-    BFS's per-call numpy overhead is never amortised.  The probe times
-    the full-graph EDS Newton walk three ways -- threshold as shipped,
-    forced-scalar, forced-numpy -- on the numpy tier, attaches the
-    per-solve telemetry (BFS-mode choices, pass counts, warm/cold mix),
-    and writes ``benchmarks/out/bfs_dispatch_note.txt`` quantifying the
-    mis-tuning.  No assert on the winner: the note is evidence for the
-    ROADMAP kernel-autotuning item, not a regression gate.
+    BFS's per-call numpy overhead is never amortised.  The dispatch is
+    now warmth-aware (:data:`~repro.accel.vector.NUMPY_BFS_MIN_ARCS_WARM`
+    keeps warm re-solves on the scalar BFS), so this probe doubles as
+    the regression gate: the shipped defaults must pick the scalar BFS
+    on every warm solve (asserted from the per-solve telemetry, not
+    timings) and must no longer lose to the forced-scalar leg.  The
+    probe times the full-graph EDS Newton walk three ways -- thresholds
+    as shipped, forced-scalar, forced-numpy -- on the numpy tier and
+    writes ``benchmarks/out/bfs_dispatch_note.txt``.
     """
     if not have_numpy():
         import pytest
 
         pytest.skip("numpy unavailable: there is no dispatch to probe")
 
-    default_threshold = vector.NUMPY_BFS_MIN_ARCS
+    default_cold = vector.NUMPY_BFS_MIN_ARCS
+    default_warm = vector.NUMPY_BFS_MIN_ARCS_WARM
+    # (cold threshold, warm threshold) per forced leg
     forced = (
-        ("default", default_threshold),
-        ("scalar", 1 << 62),  # threshold unreachably high: scalar always
-        ("numpy", 0),  # threshold zero: vectorised BFS always
+        ("default", default_cold, default_warm),
+        ("scalar", 1 << 62, 1 << 62),  # thresholds unreachable: scalar always
+        ("numpy", 0, 0),  # thresholds zero: vectorised BFS always
     )
     rows = []
     accel.select_tier("numpy")
@@ -480,8 +484,9 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
                 return time.perf_counter() - start, net
 
             row = {"dataset": name}
-            for label, threshold in forced:
-                vector.NUMPY_BFS_MIN_ARCS = threshold
+            for label, cold_threshold, warm_threshold in forced:
+                vector.NUMPY_BFS_MIN_ARCS = cold_threshold
+                vector.NUMPY_BFS_MIN_ARCS_WARM = warm_threshold
                 best = float("inf")
                 for _ in range(3):
                     seconds, net = run_walk()
@@ -491,7 +496,20 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
                 # the network size that drove it
                 obs.enable()
                 run_walk()
-                flow = obs.summary()["flow"]
+                summary = obs.summary()
+                flow = summary["flow"]
+                if label == "default":
+                    # the regression gate: warmth-aware dispatch must
+                    # route every warm re-solve to the scalar BFS
+                    warm_events = [
+                        e["fields"]
+                        for e in obs.get_collector().events()
+                        if e["name"] == "flow.solve" and e["fields"]["mode"] != "cold"
+                    ]
+                    assert warm_events, "walk produced no warm re-solves"
+                    assert all(
+                        f.get("bfs_mode") == "scalar" for f in warm_events
+                    ), f"warm solve took the numpy BFS: {warm_events}"
                 obs.disable()
                 if label == "default":
                     row["arcs"] = len(net.head)
@@ -511,7 +529,8 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
             )
             rows.append(row)
     finally:
-        vector.NUMPY_BFS_MIN_ARCS = default_threshold
+        vector.NUMPY_BFS_MIN_ARCS = default_cold
+        vector.NUMPY_BFS_MIN_ARCS_WARM = default_warm
         accel.select_tier(None)
 
     emit(
@@ -524,12 +543,14 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
             for row in rows
         ],
         f"Dinic BFS dispatch probe (numpy tier, NUMPY_BFS_MIN_ARCS="
-        f"{default_threshold}): forced scalar vs forced numpy on warm GGT walks",
+        f"{default_cold}, warm threshold {default_warm}): forced scalar vs "
+        "forced numpy on warm GGT walks",
     )
 
     note_lines = [
         "NUMPY_BFS_MIN_ARCS dispatch probe -- warm GGT walks, numpy tier",
-        f"bench_scale={bench_scale}  threshold={default_threshold} arcs "
+        f"bench_scale={bench_scale}  cold threshold={default_cold} arcs, "
+        f"warm threshold={'inf' if default_warm > 1 << 40 else default_warm} "
         f"(len(head) incl. reverse arcs)",
         "",
     ]
@@ -552,13 +573,15 @@ def test_bfs_dispatch_probe(benchmark, emit, bench_scale):
     note_lines.append(
         "Verdict: threshold mis-tuned for warm GGT solves on "
         + (", ".join(mistuned) if mistuned else "none of the probed cells")
-        + ".  Warm re-solves run 1-3 short BFS passes where the numpy"
+        + ".  The dispatch is warmth-aware (NUMPY_BFS_MIN_ARCS_WARM keeps"
     )
     note_lines.append(
-        "per-call overhead never amortises; the per-solve flow telemetry"
-        " (flow.solve events: bfs_mode x arcs x seconds) is the input an"
-        " autotuner needs to set this per-network instead of globally."
+        "warm re-solves on the scalar BFS, asserted above from the"
+        " per-solve telemetry); a future autotuner can learn a real"
+        " per-network crossover from the flow.solve events instead."
     )
+    # the historical mis-tuning must stay fixed: defaults pick the winner
+    assert not mistuned, f"warm dispatch regressed on {mistuned}"
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "bfs_dispatch_note.txt").write_text(
         "\n".join(note_lines) + "\n", encoding="utf-8"

@@ -18,11 +18,14 @@ Quickstart
 from .api import densest_subgraph, resolve_pattern
 from .core.exact import DensestSubgraphResult
 from .graph.graph import Graph
+from .guard import Budget, BudgetExceeded
 from .patterns.pattern import Pattern, get_pattern, pattern_names
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "Graph",
     "Pattern",
     "DensestSubgraphResult",

@@ -38,6 +38,22 @@ Tests and the ablation bench can rebuild the registry at runtime with
 :func:`select_tier`; ``select_tier(None)`` restores the import-time
 default.
 
+**Failover.**  Every kernel carries a fallback chain (numba -> numpy ->
+pure, deduplicated per kernel).  When a kernel call raises, the
+dispatcher restores the call's mutable arrays from a pre-call snapshot
+(the numba flow wrappers are transactional -- they write residuals back
+only on success -- so no snapshot is taken there), **demotes the kernel
+to the next tier for the rest of the process**, emits an
+``accel.failover`` counter + event and a ``RuntimeWarning``, and retries
+the same call.  Results stay bit-identical across the retry because the
+tiers already are.  ``select_tier`` rebuilds the registry and thereby
+clears demotions.  Kernels whose chain ends with no implementation
+(``heap_peel`` outside the numba tier) raise :class:`KernelFallback` so
+the caller's reference loop runs instead.  Faults can be injected
+deterministically at exact call counts via :mod:`repro.guard.faults`
+(``REPRO_FAULT=<kernel>:<nth>``), which is how CI exercises these
+paths.
+
 **Warm-up / compile cache.**  Numba compiles each kernel lazily on its
 first call (a few seconds per kernel, once per process).  Two
 mitigations: ``njit(cache=True)`` persists the compiled machine code
@@ -53,8 +69,10 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 
 from .. import obs
+from ..guard import faults as _faults
 from . import pure, vector
 
 if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
@@ -178,6 +196,31 @@ KERNEL_TIERS: dict = {}
 #: The selected default tier ("numba" / "numpy" / "python").
 TIER = "python"
 
+#: Per-kernel fallback chain below the current impl: ``name ->
+#: [(label, fn, transactional), ...]``.  Non-empty chain == the
+#: dispatcher takes the guarded (snapshot + retry) path.
+_chains: dict = {}
+
+#: Whether the *current* impl of a kernel restores its mutable args
+#: itself on failure (the numba flow wrappers copy to arrays and write
+#: back only on success); transactional impls skip the pre-call
+#: snapshot.
+_transactional: dict = {}
+
+#: Process-lifetime failover log (cleared on ``select_tier`` rebuilds):
+#: ``{"kernel", "from_tier", "to_tier", "error"}`` per demotion.
+FAILOVERS: list = []
+
+
+class KernelFallback(RuntimeError):
+    """A kernel was demoted to a tier with no registered implementation.
+
+    Only ``heap_peel`` can land here (its non-numba "implementation" is
+    the reference loop in :func:`repro.core.peel.min_degree_peel`); the
+    caller catches this and runs that loop.  The failed call's mutable
+    arrays have already been restored.
+    """
+
 
 def available_tiers() -> tuple:
     """The tiers worth benchmarking on this interpreter, fastest first.
@@ -196,32 +239,47 @@ def available_tiers() -> tuple:
 
 
 def _build_registry(tier: str) -> None:
-    base = {
-        "dinic": ("python", pure.dinic_max_flow),
-        "push_relabel": ("python", pure.push_relabel_max_flow),
-        "ggt_retreat": ("python", pure.ggt_retreat),
+    # Full fallback ladder per kernel, current tier first.  Entries are
+    # ``(label, fn, transactional)``; the terminal entry is always the
+    # pure tier (fn=None for heap_peel: the caller's reference loop).
+    chains: dict = {
+        "dinic": [("python", pure.dinic_max_flow, False)],
+        "push_relabel": [("python", pure.push_relabel_max_flow, False)],
+        "ggt_retreat": [("python", pure.ggt_retreat, False)],
         # O(#alpha-arcs) of simple float work: the list<->array
         # conversion a jitted version would need costs more than the
         # loop, so the advance stays interpreter-side on every tier.
-        "ggt_advance": ("python", pure.ggt_advance),
-        "bucket_peel": ("python", pure.bucket_peel),
-        "heap_peel": ("python", None),
+        "ggt_advance": [("python", pure.ggt_advance, False)],
+        "bucket_peel": [("python", pure.bucket_peel, False)],
+        "heap_peel": [("python", None, False)],
     }
     if tier in ("numpy", "numba"):
-        base["dinic"] = ("numpy", vector.dinic_max_flow)
+        chains["dinic"].insert(0, ("numpy", vector.dinic_max_flow, False))
     if tier == "numba":
         kerns = _jitted_kernels() if NUMBA_JITTED else _kernels.__dict__
         label = "numba" if NUMBA_JITTED else "numba-interp"
-        base["dinic"] = (label, _wrap_max_flow(kerns["dinic_max_flow"]))
-        base["push_relabel"] = (label, _wrap_max_flow(kerns["push_relabel_max_flow"]))
-        base["ggt_retreat"] = (label, _wrap_ggt_retreat(kerns["ggt_retreat"]))
-        base["bucket_peel"] = (label, _wrap_bucket_peel(kerns["bucket_peel"]))
-        base["heap_peel"] = (label, _wrap_heap_peel(kerns["heap_peel"]))
+        # the max-flow / retreat wrappers are transactional: they run on
+        # a private array copy and write residuals back only on success
+        chains["dinic"].insert(0, (label, _wrap_max_flow(kerns["dinic_max_flow"]), True))
+        chains["push_relabel"].insert(
+            0, (label, _wrap_max_flow(kerns["push_relabel_max_flow"]), True)
+        )
+        chains["ggt_retreat"].insert(0, (label, _wrap_ggt_retreat(kerns["ggt_retreat"]), True))
+        # the peel wrappers share the caller's buffers (frombuffer), so
+        # the dispatcher snapshots/restores them around a failed call
+        chains["bucket_peel"].insert(0, (label, _wrap_bucket_peel(kerns["bucket_peel"]), False))
+        chains["heap_peel"].insert(0, (label, _wrap_heap_peel(kerns["heap_peel"]), False))
     _impl.clear()
     KERNEL_TIERS.clear()
-    for name, (label, fn) in base.items():
+    _chains.clear()
+    _transactional.clear()
+    FAILOVERS.clear()
+    for name, chain in chains.items():
+        label, fn, transactional = chain[0]
         _impl[name] = fn
         KERNEL_TIERS[name] = label
+        _transactional[name] = transactional
+        _chains[name] = chain[1:]
 
 
 def select_tier(tier: str | None = None) -> str:
@@ -262,6 +320,84 @@ def kernel_tiers() -> dict:
     return dict(KERNEL_TIERS)
 
 
+def kernel_chain(name: str) -> tuple:
+    """Current tier of ``name`` followed by its remaining fallbacks."""
+    return (KERNEL_TIERS[name],) + tuple(label for label, _, _ in _chains[name])
+
+
+def failover_log() -> list:
+    """Copy of the demotions since the last registry (re)build."""
+    return [dict(rec) for rec in FAILOVERS]
+
+
+# --- guarded dispatch: snapshot, fault hook, demote-and-retry --------
+
+
+def _snapshot(obj):
+    return bytes(obj) if isinstance(obj, bytearray) else list(obj)
+
+
+def _demote(name: str, exc: BaseException) -> None:
+    old = KERNEL_TIERS[name]
+    label, fn, transactional = _chains[name].pop(0)
+    _impl[name] = fn
+    KERNEL_TIERS[name] = label
+    _transactional[name] = transactional
+    FAILOVERS.append(
+        {"kernel": name, "from_tier": old, "to_tier": label, "error": repr(exc)}
+    )
+    warnings.warn(
+        f"accel kernel {name!r} failed on tier {old!r}; demoted to {label!r} "
+        f"for this process: {exc!r}",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    if obs.ENABLED:
+        obs.counter("accel.failover")
+        obs.counter(f"accel.failover.{name}")
+        obs.event(
+            "accel.failover", kernel=name, from_tier=old, to_tier=label, error=repr(exc)
+        )
+
+
+def _dispatch(name: str, args: tuple, mutable: tuple):
+    """Run kernel ``name``, failing over down its tier chain on error.
+
+    ``mutable`` names the positions of ``args`` the kernels mutate in
+    place; unless the current impl is transactional they are snapshotted
+    before the call and restored before a retry, so the fallback tier
+    sees the exact pre-call state (and produces the bit-identical
+    result the tier tests guarantee).  The terminal tier's failure --
+    nothing left to fall back to -- propagates.
+
+    Fast path: a kernel with an empty chain and no armed fault plan
+    calls straight through, adding two dict/attribute reads over the
+    pre-failover dispatcher.
+    """
+    if not _chains[name] and not _faults.ARMED and _impl[name] is not None:
+        return _impl[name](*args)
+    while True:
+        fn = _impl[name]
+        if fn is None:
+            raise KernelFallback(
+                f"kernel {name!r} has no implementation on tier {KERNEL_TIERS[name]!r}"
+            )
+        snaps = None
+        if _chains[name] and not _transactional[name]:
+            snaps = [(args[i], _snapshot(args[i])) for i in mutable]
+        try:
+            if _faults.ARMED:
+                _faults.maybe_raise(name, KERNEL_TIERS[name])
+            return fn(*args)
+        except Exception as exc:
+            if not _chains[name]:
+                raise
+            if snaps is not None:
+                for obj, snap in snaps:
+                    obj[:] = snap
+            _demote(name, exc)
+
+
 # --- module-level dispatchers (the API the engines call) ------------
 
 #: Work counters of the most recent max-flow / retreat kernel call --
@@ -282,16 +418,23 @@ def _bfs_mode() -> str:
     return "kernel"  # numba / numba-interp: the compiled scalar BFS
 
 
-def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Dinic max flow over flat arc arrays (mutates ``cap`` in place)."""
+def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs, warm=False):
+    """Dinic max flow over flat arc arrays (mutates ``cap`` in place).
+
+    ``warm`` hints that the network already carries a near-maximum flow
+    (a warm-started parametric re-solve): the numpy tier then keeps the
+    scalar BFS, whose early exit beats the arc-parallel passes on the
+    1-3 short level builds a warm solve needs (see
+    ``benchmarks/out/bfs_dispatch_note.txt``).
+    """
     global last_solve
+    vector.SOLVE_IS_WARM = warm
+    args = (source, sink, head, cap, adj_start, adj_arcs)
     if not obs.ENABLED:
-        total, _, _ = _impl["dinic"](source, sink, head, cap, adj_start, adj_arcs)
+        total, _, _ = _dispatch("dinic", args, (3,))
         return total
     t0 = time.perf_counter()
-    total, bfs_passes, augments = _impl["dinic"](
-        source, sink, head, cap, adj_start, adj_arcs
-    )
+    total, bfs_passes, augments = _dispatch("dinic", args, (3,))
     seconds = time.perf_counter() - t0
     last_solve = {
         "kernel": "dinic",
@@ -311,13 +454,12 @@ def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
 def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
     """Highest-label + gap push-relabel (mutates ``cap`` in place)."""
     global last_solve
+    args = (source, sink, head, cap, adj_start, adj_arcs)
     if not obs.ENABLED:
-        value, _, _ = _impl["push_relabel"](source, sink, head, cap, adj_start, adj_arcs)
+        value, _, _ = _dispatch("push_relabel", args, (3,))
         return value
     t0 = time.perf_counter()
-    value, pushes, relabels = _impl["push_relabel"](
-        source, sink, head, cap, adj_start, adj_arcs
-    )
+    value, pushes, relabels = _dispatch("push_relabel", args, (3,))
     seconds = time.perf_counter() - t0
     last_solve = {
         "kernel": "push_relabel",
@@ -336,9 +478,11 @@ def push_relabel_max_flow(source, sink, head, cap, adj_start, adj_arcs):
 def ggt_retreat(head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
                 num_nodes, source, alpha):
     """GGT decreasing-alpha clamp + excess drain (mutates ``cap``)."""
-    clamped, drain_paths = _impl["ggt_retreat"](
-        head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
-        num_nodes, source, alpha,
+    clamped, drain_paths = _dispatch(
+        "ggt_retreat",
+        (head, cap, base_cap, adj_start, adj_arcs, alpha_arcs, alpha_coeff,
+         num_nodes, source, alpha),
+        (1,),
     )
     if obs.ENABLED:
         obs.counter("accel.ggt_retreat.calls")
@@ -350,15 +494,32 @@ def ggt_advance(cap, base_cap, alpha_arcs, alpha_coeff, alpha):
     """GGT increasing-alpha capacity refresh (mutates ``cap``)."""
     if obs.ENABLED:
         obs.counter("accel.ggt_advance.calls")
-    return _impl["ggt_advance"](cap, base_cap, alpha_arcs, alpha_coeff, alpha)
+    return _dispatch("ggt_advance", (cap, base_cap, alpha_arcs, alpha_coeff, alpha), (0,))
 
 
 def bucket_peel(inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive):
     """Bucket-queue min-degree peel over a flat instance index."""
     if obs.ENABLED:
         obs.counter("accel.bucket_peel.calls")
-    return _impl["bucket_peel"](
-        inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive
+    return _dispatch(
+        "bucket_peel",
+        (inst, inc_start, inc_ids, deg, alive, in_graph, h, n_graph, num_alive),
+        (3, 4),
+    )
+
+
+def heap_peel(inst, inc_start, inc_ids, deg, alive, num_alive, n, h):
+    """Whole-sequence min-degree peel (numba tier only; see
+    :func:`repro.core.peel.min_degree_peel` for the reference loop).
+
+    Raises :class:`KernelFallback` -- with ``deg`` and ``alive``
+    restored -- when the kernel fails and the registry has no
+    replacement; the caller then runs its reference loop.
+    """
+    if obs.ENABLED:
+        obs.counter("accel.heap_peel.calls")
+    return _dispatch(
+        "heap_peel", (inst, inc_start, inc_ids, deg, alive, num_alive, n, h), (3, 4)
     )
 
 
@@ -382,9 +543,11 @@ def warm_up() -> str:
     # one 2-clique instance over two vertices
     bucket_peel([0, 1], [0, 1, 2], [0, 0], [1, 1], bytearray(b"\x01"),
                 bytearray(b"\x01\x01"), 2, 2, 1)
-    kern = get("heap_peel")
-    if kern is not None:
-        kern([0, 1], [0, 1, 2], [0, 0], [1, 1], bytearray(b"\x01"), 1, 2, 2)
+    if get("heap_peel") is not None:
+        try:
+            heap_peel([0, 1], [0, 1, 2], [0, 0], [1, 1], bytearray(b"\x01"), 1, 2, 2)
+        except KernelFallback:  # demoted mid-warm-up: reference loop covers it
+            pass
     return TIER
 
 

@@ -30,14 +30,24 @@ else:
         np = None
 
 #: Arc-array length above which the vectorised BFS pays for its
-#: per-call numpy overhead (tuned on the bench surrogates).  Read at
-#: every call, so tests and the dispatch-probe bench can override it at
-#: runtime.  Known-wrong on warm GGT solves -- see the ROADMAP "kernel
-#: autotuning" item and ``benchmarks/out/bfs_dispatch_note.txt``; the
-#: per-solve telemetry (:data:`LAST_BFS_MODE` flowing into the
-#: ``flow.solve`` events of :mod:`repro.obs`) records the data an
-#: autotuner needs to fix it.
+#: per-call numpy overhead on a *cold* solve (tuned on the bench
+#: surrogates).  Read at every call, so tests and the dispatch-probe
+#: bench can override it at runtime.
 NUMPY_BFS_MIN_ARCS = 8192
+
+#: The same threshold for *warm* re-solves.  A warm-started GGT solve
+#: runs 1-3 short BFS passes whose scalar early exit the arc-parallel
+#: relaxation cannot match, so the numpy per-call overhead never
+#: amortises at any probed size (``benchmarks/out/bfs_dispatch_note.txt``)
+#: -- the old single threshold picked the slower numpy BFS for warm
+#: walks on As-Caida-sized networks.  Effectively infinite: warm solves
+#: always take the scalar BFS until an autotuner (ROADMAP) learns a
+#: real crossover from the flow.solve telemetry.
+NUMPY_BFS_MIN_ARCS_WARM = 1 << 62
+
+#: Warmth hint for the next :func:`dinic_max_flow` call, set by the
+#: accel dispatcher from the parametric engine's warm-start mode.
+SOLVE_IS_WARM = False
 
 #: BFS implementation the most recent :func:`dinic_max_flow` call chose
 #: (``"numpy"`` or ``"scalar"``) -- the telemetry side channel the accel
@@ -63,12 +73,16 @@ def _levels_numpy(head_np, tail_np, cap, n, source, sink):
 
 
 def dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs):
-    """Dinic with the numpy BFS above :data:`NUMPY_BFS_MIN_ARCS` arcs.
+    """Dinic with the numpy BFS above the warmth-dependent threshold.
 
+    Cold solves switch to the arc-parallel BFS above
+    :data:`NUMPY_BFS_MIN_ARCS` arcs; warm re-solves (per
+    :data:`SOLVE_IS_WARM`) use :data:`NUMPY_BFS_MIN_ARCS_WARM`.
     Returns ``(total, bfs_passes, augments)`` like the pure tier.
     """
     global LAST_BFS_MODE
-    if np is None or len(head) < NUMPY_BFS_MIN_ARCS:
+    threshold = NUMPY_BFS_MIN_ARCS_WARM if SOLVE_IS_WARM else NUMPY_BFS_MIN_ARCS
+    if np is None or len(head) < threshold:
         LAST_BFS_MODE = "scalar"
         return pure.dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs)
     LAST_BFS_MODE = "numpy"

@@ -17,9 +17,9 @@ paper's algorithm matrix:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
-from . import obs
+from . import guard, obs
 from .cliques.index import CliqueIndex
 from .core.core_app import core_app_densest
 from .core.core_exact import core_exact_densest
@@ -34,6 +34,8 @@ from .core.pds import (
 )
 from .core.peel import peel_densest
 from .graph.graph import Graph
+from .graph.validate import validate_graph
+from .guard import sanitize
 from .patterns.pattern import Pattern, get_pattern
 
 PatternLike = Union[int, str, Pattern]
@@ -55,11 +57,57 @@ def resolve_pattern(psi: PatternLike) -> Pattern:
     return get_pattern(psi)
 
 
+def _peel_fallback(
+    graph: Graph,
+    pattern: Pattern,
+    degraded_info: dict,
+    incumbent: Optional[set],
+    incumbent_density: float,
+) -> DensestSubgraphResult:
+    """Budget-expired last resort: the peel 1/|V_Ψ|-approximation.
+
+    Runs with the (expired) budget masked -- peeling is the cheap,
+    bounded-quality escape hatch, so it must not immediately re-raise.
+    Returns the denser of the peel result and the incumbent the
+    interrupted solver attached, annotated with the verifiable bound
+    ``ρ_opt <= |V_Ψ| * ρ_peel`` (Lemma 8 / Lemma 10).
+    """
+    size = pattern.size
+    with guard.suspended():
+        if pattern.is_clique():
+            result = peel_densest(graph, size)
+        else:
+            result = pattern_peel_densest(graph, pattern)
+    peel_density = result.density
+    if incumbent and incumbent_density > result.density:
+        result = DensestSubgraphResult(
+            vertices=set(incumbent),
+            density=incumbent_density,
+            method=result.method,
+            iterations=result.iterations,
+            stats=dict(result.stats),
+        )
+    result.stats.update(degraded_info)
+    result.stats.update(
+        {
+            "degraded": True,
+            "degraded_incumbent": "peel-fallback",
+            "fallback": "peel",
+            "approx_ratio": 1.0 / size,
+            "density_lower_bound": result.density,
+            "density_upper_bound": size * peel_density,
+        }
+    )
+    return result
+
+
 def densest_subgraph(
     graph: Graph,
     psi: PatternLike = 2,
     method: str = "auto",
     flow_engine: str = "ggt",
+    *,
+    strict: bool = True,
 ) -> DensestSubgraphResult:
     """Find the Ψ-densest subgraph of ``graph``.
 
@@ -83,9 +131,22 @@ def densest_subgraph(
         the network every iteration.  All three return bit-identical
         vertex sets and densities; the peeling-based approximations
         take no flow engine.
+    strict:
+        Validate the input up front (the default): a non-``Graph``
+        raises ``TypeError``; an empty graph or a ``NaN`` vertex id
+        raises ``ValueError`` with a pointer at the fix.
+        ``strict=False`` skips the gate and keeps the historical
+        behaviour (an empty graph returns an empty result).
 
     Notes
     -----
+    Under an active :class:`repro.guard.Budget`, a solver that cannot
+    finish degrades instead of failing: the result carries
+    ``stats["degraded"]`` with a verifiable density bound, and when the
+    interrupted solver had no incumbent at all the call falls back to
+    the peel ``1/|V_Ψ|``-approximation (``stats["fallback"] ==
+    "peel"``).
+
     For h-clique motifs with h >= 3 the clique instances are indexed
     exactly once per call (:class:`~repro.cliques.index.CliqueIndex`)
     and threaded through the solver, so e.g. CoreExact's locate-core
@@ -97,6 +158,8 @@ def densest_subgraph(
     >>> densest_subgraph(complete_graph(5), 3, method="core-exact").density
     2.0
     """
+    if strict:
+        validate_graph(graph)
     pattern = resolve_pattern(psi)
     if method == "auto":
         method = "core-exact" if graph.num_vertices <= AUTO_EXACT_LIMIT else "core-app"
@@ -142,4 +205,37 @@ def densest_subgraph(
         psi=pattern.name if not pattern.is_clique() else pattern.size,
         n=graph.num_vertices,
     ):
-        return run()
+        try:
+            result = run()
+        except guard.BudgetExceeded as exc:
+            # a solver without its own degradation path (the pattern
+            # algorithms, or a raw parametric walk) let the budget
+            # propagate: answer with the peel approximation instead
+            result = _peel_fallback(
+                graph,
+                pattern,
+                guard.degraded_stats(
+                    exc, incumbent_source="none", lower=0.0, upper=float("inf")
+                ),
+                exc.incumbent,
+                exc.incumbent_density,
+            )
+        else:
+            if (
+                result.stats.get("degraded")
+                and result.stats.get("degraded_incumbent") == "none"
+            ):
+                # the solver degraded but never saw a feasible cut: its
+                # whole-graph placeholder has no quality story, the peel
+                # approximation does
+                degraded_info = {
+                    k: result.stats[k]
+                    for k in ("degraded_at", "degraded_reason", "budget")
+                    if k in result.stats
+                }
+                result = _peel_fallback(graph, pattern, degraded_info, None, 0.0)
+    if guard.CHECK and pattern.is_clique():
+        sanitize.check_result_density(
+            graph, result.vertices, pattern.size, result.density, "densest_subgraph"
+        )
+    return result

@@ -26,8 +26,9 @@ import math
 import time
 from typing import Optional
 
-from .. import obs
+from .. import guard, obs
 from ..cliques.index import CliqueIndex
+from ..guard import sanitize
 from ..flow import dinic
 from ..flow.builders import (
     build_cds_network,
@@ -84,8 +85,13 @@ class _ComponentState:
         """Source-side cut vertex set of the min cut at guess ``alpha``."""
         if self.flow_engine == "rebuild":
             network = self.build_network(alpha)
+            budget = guard.ACTIVE
+            if budget is not None:
+                budget.tick_solve(network.num_arcs)
             self.network_nodes = network.num_nodes
             dinic.max_flow(network)
+            if guard.CHECK:
+                sanitize.check_flow_network(network)
             return vertices_of_cut(network.min_cut_source_side())
         net = self._parametric()
         self.network_nodes = net.num_nodes
@@ -263,6 +269,7 @@ def core_exact_densest(
     iterations = 0
     network_sizes: list[int] = []
     candidate: Optional[set[Vertex]] = None
+    degraded: Optional[guard.BudgetExceeded] = None
     # The span's duration *is* the legacy ``flow_seconds`` stat, so
     # trace and stats reconcile exactly.
     with obs.span("core_exact.flow", engine=flow_engine, h=h) as flow_sp:
@@ -308,7 +315,13 @@ def core_exact_densest(
             alpha = low
             solves = 0
             while True:
-                cut = state.solve(alpha)
+                try:
+                    cut = state.solve(alpha)
+                except guard.BudgetExceeded as exc:
+                    # the walk's incumbent is this component's best cut
+                    # so far -- the densest pruned-core answer available
+                    exc.attach_incumbent(best, best_rho)
+                    raise
                 solves += 1
                 network_sizes.append(state.network_nodes)
                 if not cut:
@@ -325,68 +338,89 @@ def core_exact_densest(
                 alpha = rho
             return best, best_rho, solves, state
 
-        for state in sorted(comp_states, key=lambda s: -s.num_vertices):
-            # The upper bound must be per-component: infeasibility inside one
-            # component says nothing about another, while kmax bounds every
-            # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
-            # across components; resetting it is the sound reading.)
-            high = float(kmax)
-            # line 6: if the global lower bound outgrew this core level,
-            # intersect the component with the (⌈l⌉, Ψ)-core.
-            if low > k_locate:
-                state = core_shrink(state, low)
-            if state.num_vertices == 0:
-                continue
-
-            if flow_engine == "ggt":
-                # One parametric sweep replaces probe + binary search: the
-                # Newton walk starts at the global lower bound l (solving at
-                # l IS the feasibility probe) and ends at the component's
-                # exact optimal density, raising l for later components.
-                cut, rho, solves, state = ggt_newton_walk(state, low)
-                iterations += solves
-                if not cut:
+        def component_loop(states: list[_ComponentState]) -> None:
+            nonlocal iterations, low, candidate
+            for state in states:
+                # The upper bound must be per-component: infeasibility inside one
+                # component says nothing about another, while kmax bounds every
+                # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
+                # across components; resetting it is the sound reading.)
+                high = float(kmax)
+                # line 6: if the global lower bound outgrew this core level,
+                # intersect the component with the (⌈l⌉, Ψ)-core.
+                if low > k_locate:
+                    state = core_shrink(state, low)
+                if state.num_vertices == 0:
                     continue
-                density_cache.setdefault(frozenset(cut), rho)
-                if rho > low:
-                    low = rho
-                if candidate is None or cached_density(cut) > cached_density(candidate):
-                    candidate = cut
-                continue
 
-            # lines 7-9: feasibility probe at α = l.
-            probe = state.solve(low)
-            network_sizes.append(state.network_nodes)
-            iterations += 1
-            if not probe:
-                continue
-            candidate_local = probe
-            state.checkpoint()  # all later guesses exceed l: warm-start base
+                if flow_engine == "ggt":
+                    # One parametric sweep replaces probe + binary search: the
+                    # Newton walk starts at the global lower bound l (solving at
+                    # l IS the feasibility probe) and ends at the component's
+                    # exact optimal density, raising l for later components.
+                    cut, rho, solves, state = ggt_newton_walk(state, low)
+                    iterations += solves
+                    if not cut:
+                        continue
+                    density_cache.setdefault(frozenset(cut), rho)
+                    if rho > low:
+                        low = rho
+                    if candidate is None or cached_density(cut) > cached_density(candidate):
+                        candidate = cut
+                    continue
 
-            # lines 10-19: binary search within the component.
-            while True:
-                nc = state.num_vertices
-                resolution = (
-                    1.0 / (nc * (nc - 1)) if pruning3 and nc > 1 else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
-                )
-                if high - low < resolution:
-                    break
-                alpha = (low + high) / 2.0
-                cut_vertices = state.solve(alpha)
+                # lines 7-9: feasibility probe at α = l.
+                probe = state.solve(low)
                 network_sizes.append(state.network_nodes)
                 iterations += 1
-                if not cut_vertices:
-                    high = alpha
-                else:
-                    if alpha > math.ceil(low):
-                        state = core_shrink(state, alpha)
-                    low = alpha
-                    candidate_local = cut_vertices
-                    state.checkpoint()
+                if not probe:
+                    continue
+                candidate_local = probe
+                state.checkpoint()  # all later guesses exceed l: warm-start base
 
-            if candidate_local:
-                if candidate is None or cached_density(candidate_local) > cached_density(candidate):
-                    candidate = candidate_local
+                # lines 10-19: binary search within the component.
+                try:
+                    while True:
+                        nc = state.num_vertices
+                        resolution = (
+                            1.0 / (nc * (nc - 1)) if pruning3 and nc > 1 else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
+                        )
+                        if high - low < resolution:
+                            break
+                        alpha = (low + high) / 2.0
+                        cut_vertices = state.solve(alpha)
+                        network_sizes.append(state.network_nodes)
+                        iterations += 1
+                        if not cut_vertices:
+                            high = alpha
+                        else:
+                            if alpha > math.ceil(low):
+                                state = core_shrink(state, alpha)
+                            low = alpha
+                            candidate_local = cut_vertices
+                            state.checkpoint()
+                except guard.BudgetExceeded as exc:
+                    # the search's last feasible cut is this component's
+                    # incumbent
+                    exc.attach_incumbent(candidate_local, cached_density(candidate_local))
+                    raise
+
+                if candidate_local:
+                    if candidate is None or cached_density(candidate_local) > cached_density(candidate):
+                        candidate = candidate_local
+
+        try:
+            component_loop(sorted(comp_states, key=lambda s: -s.num_vertices))
+        except guard.BudgetExceeded as exc:
+            # degrade: keep the densest incumbent seen anywhere -- the
+            # pruned-core seeds (best_vertices) are always available, and
+            # the raise site may have attached a better mid-search cut
+            degraded = exc
+            if exc.incumbent is not None:
+                density_cache.setdefault(frozenset(exc.incumbent), exc.incumbent_density)
+                candidate_from_exc = set(exc.incumbent)
+                if candidate is None or cached_density(candidate_from_exc) > cached_density(candidate):
+                    candidate = candidate_from_exc
 
         # --- pick the best of: binary-search result, Pruning1/2 seeds -----
         finalists = [best_vertices]
@@ -395,7 +429,7 @@ def core_exact_densest(
         best = max(finalists, key=cached_density)
         density = cached_density(best)
     total_seconds = time.perf_counter() - start
-    return DensestSubgraphResult(
+    result = DensestSubgraphResult(
         vertices=set(best),
         density=density,
         method="CoreExact",
@@ -412,3 +446,19 @@ def core_exact_densest(
             "flow_engine": flow_engine,
         },
     )
+    if degraded is not None:
+        # Theorem 1: ρ_opt <= kmax, so kmax bounds how far the pruned-core
+        # incumbent can be from the optimum
+        result.stats.update(
+            guard.degraded_stats(
+                degraded,
+                incumbent_source="core",
+                lower=density,
+                upper=float(kmax),
+            )
+        )
+    if guard.CHECK:
+        sanitize.check_result_density(
+            graph, result.vertices, h, result.density, "core_exact_densest"
+        )
+    return result

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .. import obs
+from .. import guard, obs
 from ..cliques.index import CliqueIndex
+from ..guard import sanitize
 from ..flow import dinic
 from ..flow.builders import (
     build_cds_network,
@@ -149,6 +150,8 @@ def exact_densest(
 
     # The span's duration *is* the legacy ``flow_seconds`` stat (network
     # construction included), so trace and stats reconcile exactly.
+    degraded: Optional[guard.BudgetExceeded] = None
+    incumbent_source = "none"
     with obs.span("exact.flow", engine=flow_engine, h=h) as flow_sp:
         net = None
         if flow_engine in ("reuse", "ggt"):
@@ -162,10 +165,19 @@ def exact_densest(
                 density_of = lambda s: graph.subgraph(s).num_edges / len(s)
             else:
                 density_of = index.density_within
-            cut, rho, iterations = net.max_density(density_of, low=0.0)
+            try:
+                cut, rho, iterations = net.max_density(density_of, low=0.0)
+            except guard.BudgetExceeded as exc:
+                # degrade: the walk's best breakpoint incumbent is an
+                # exact density of a real subgraph, just maybe not the
+                # optimum
+                degraded = exc
+                cut, rho = exc.incumbent, exc.incumbent_density
+                iterations = exc.budget.solves
             network_sizes = [net.num_nodes] * iterations
             if cut:
                 best, density = cut, rho  # ρ is the exact count/size ratio
+                incumbent_source = "walk"
             else:
                 best = set(graph.vertices())
                 density = _best_subgraph_density(graph, best, h, index)
@@ -176,36 +188,49 @@ def exact_densest(
             resolution = 1.0 / (n * (n - 1)) if n > 1 else 0.5
             network_sizes: list[int] = []
 
-            while high - low >= resolution:
-                iterations += 1
-                alpha = (low + high) / 2.0
-                if net is not None:
-                    cut_vertices = net.solve(alpha)
-                    network_sizes.append(net.num_nodes)
-                else:
-                    if h == 2:
-                        network = build_eds_network(graph, alpha)
-                    else:
-                        network = build_cds_network(graph, h, alpha, index=index)
-                    network_sizes.append(network.num_nodes)
-                    dinic.max_flow(network)
-                    cut_vertices = vertices_of_cut(network.min_cut_source_side())
-                if not cut_vertices:
-                    high = alpha
-                else:
-                    low = alpha
-                    best = cut_vertices
+            try:
+                while high - low >= resolution:
+                    iterations += 1
+                    alpha = (low + high) / 2.0
                     if net is not None:
-                        net.checkpoint()
+                        cut_vertices = net.solve(alpha)
+                        network_sizes.append(net.num_nodes)
+                    else:
+                        if h == 2:
+                            network = build_eds_network(graph, alpha)
+                        else:
+                            network = build_cds_network(graph, h, alpha, index=index)
+                        budget = guard.ACTIVE
+                        if budget is not None:
+                            budget.tick_solve(network.num_arcs)
+                        network_sizes.append(network.num_nodes)
+                        dinic.max_flow(network)
+                        if guard.CHECK:
+                            sanitize.check_flow_network(network)
+                        cut_vertices = vertices_of_cut(network.min_cut_source_side())
+                    if not cut_vertices:
+                        high = alpha
+                    else:
+                        low = alpha
+                        best = cut_vertices
+                        if net is not None:
+                            net.checkpoint()
+            except guard.BudgetExceeded as exc:
+                # degrade: the last feasible cut is a real subgraph whose
+                # density the search had already certified to be >= low
+                degraded = exc
 
-            if best is None:
-                # ρ_opt below the first guess resolution: densest is the
+            if best is not None:
+                incumbent_source = "search"
+            else:
+                # ρ_opt below the first guess resolution (or the budget
+                # died before any feasible cut): densest is the
                 # max-degree vertex's best trivial subgraph; fall back to
                 # the whole graph.
                 best = set(graph.vertices())
             density = _best_subgraph_density(graph, best, h, index)
 
-    return DensestSubgraphResult(
+    result = DensestSubgraphResult(
         vertices=best,
         density=density,
         method="Exact",
@@ -216,3 +241,17 @@ def exact_densest(
             "flow_seconds": flow_sp.seconds,
         },
     )
+    if degraded is not None:
+        # sound bound: h·μ(S) = Σ_{v∈S} deg_Ψ,S(v) <= |S|·dmax, so the
+        # optimum density is at most dmax/h
+        result.stats.update(
+            guard.degraded_stats(
+                degraded,
+                incumbent_source=incumbent_source,
+                lower=density,
+                upper=upper / float(h),
+            )
+        )
+    if guard.CHECK:
+        sanitize.check_result_density(graph, result.vertices, h, result.density, "exact_densest")
+    return result

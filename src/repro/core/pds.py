@@ -406,7 +406,9 @@ def pattern_peel_densest(graph: Graph, pattern: Pattern) -> DensestSubgraphResul
             stats={"fast_path": True},
         )
     index = pattern_index(graph, pattern)
-    result = peel_densest(graph, h=pattern.size, index=index)
+    # check_density=False: the REPRO_CHECK recompute counts h-cliques,
+    # this density counts pattern instances
+    result = peel_densest(graph, h=pattern.size, index=index, check_density=False)
     return DensestSubgraphResult(
         vertices=result.vertices,
         density=result.density,

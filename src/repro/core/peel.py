@@ -12,9 +12,10 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
-from .. import accel, obs
+from .. import accel, guard, obs
 from ..cliques.index import CliqueIndex
 from ..graph.graph import Graph, Vertex
+from ..guard import sanitize
 from .exact import DensestSubgraphResult
 
 
@@ -55,18 +56,24 @@ def min_degree_peel(
     degrees = index.degrees()
     deg = [degrees[v] for v in labels]
 
-    kern = accel.get("heap_peel")
-    if kern is not None:
-        order, num_alive_after, final_alive = kern(
-            index.inst, index.inc_start, index.inc_ids, deg, index.alive,
-            index.num_alive, n, index.h,
-        )
-        index.num_alive = final_alive
-        alive = set(labels[:n])
-        for vid, num_alive in zip(order, num_alive_after):
-            alive.discard(labels[vid])
-            yield labels[vid], alive, num_alive
-        return
+    if accel.get("heap_peel") is not None:
+        try:
+            order, num_alive_after, final_alive = accel.heap_peel(
+                index.inst, index.inc_start, index.inc_ids, deg, index.alive,
+                index.num_alive, n, index.h,
+            )
+        except accel.KernelFallback:
+            # the kernel failed with nothing left to demote to; ``deg``
+            # and ``alive`` were restored, so the reference loop below
+            # peels the untouched state
+            pass
+        else:
+            index.num_alive = final_alive
+            alive = set(labels[:n])
+            for vid, num_alive in zip(order, num_alive_after):
+                alive.discard(labels[vid])
+                yield labels[vid], alive, num_alive
+            return
 
     heap = [(deg[i], i) for i in range(n)]
     heapq.heapify(heap)
@@ -94,7 +101,13 @@ def min_degree_peel(
         yield labels[vid], alive, index.num_alive
 
 
-def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> DensestSubgraphResult:
+def peel_densest(
+    graph: Graph,
+    h: int = 2,
+    index: CliqueIndex | None = None,
+    *,
+    check_density: bool = True,
+) -> DensestSubgraphResult:
     """Algorithm 2 for the h-clique Ψ.
 
     Parameters
@@ -104,6 +117,12 @@ def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> 
         0.5-approximation for edge density).
     index:
         Optional pre-built instance index (consumed).
+    check_density:
+        Run the ``REPRO_CHECK`` result-density recompute (which counts
+        h-cliques).  Callers that reuse this loop over a *pattern*
+        instance index (:func:`repro.core.pds.pattern_peel_densest`)
+        pass ``False``: their density counts pattern instances, which
+        the h-clique recompute cannot reproduce.
 
     Returns
     -------
@@ -129,18 +148,47 @@ def peel_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> 
     best_density = index.num_alive / n
     best_vertices = set(graph.vertices())
     iterations = 0
+    degraded: guard.BudgetExceeded | None = None
+    budget = guard.ACTIVE
 
     with obs.span("peel.run", h=h, n=n, m=index.num_alive):
-        for _, alive, num_alive in min_degree_peel(graph, index):
-            iterations += 1
-            density = num_alive / len(alive)
-            if density > best_density:
-                best_density = density
-                best_vertices = set(alive)
+        prev_num_alive = index.num_alive
+        try:
+            for _, alive, num_alive in min_degree_peel(graph, index):
+                if budget is not None:
+                    budget.tick_round()
+                iterations += 1
+                if guard.CHECK:
+                    sanitize.check_peel_round(prev_num_alive, num_alive)
+                    prev_num_alive = num_alive
+                density = num_alive / len(alive)
+                if density > best_density:
+                    best_density = density
+                    best_vertices = set(alive)
+        except guard.BudgetExceeded as exc:
+            # degrade: the best residual graph seen so far is a valid
+            # subgraph (the whole graph before the first round), just
+            # without the 1/h-approximation guarantee
+            degraded = exc
+            exc.attach_incumbent(best_vertices, best_density)
 
-    return DensestSubgraphResult(
+    result = DensestSubgraphResult(
         vertices=best_vertices,
         density=best_density,
         method="PeelApp",
         iterations=iterations,
     )
+    if degraded is not None:
+        # h·μ(S) <= |S|·dmax bounds the optimum by dmax/h, so the
+        # partial peel's incumbent carries a verifiable gap
+        result.stats.update(
+            guard.degraded_stats(
+                degraded,
+                incumbent_source="partial-peel",
+                lower=best_density,
+                upper=max_degree / float(h),
+            )
+        )
+    if guard.CHECK and check_density:
+        sanitize.check_result_density(graph, result.vertices, h, result.density, "peel_densest")
+    return result

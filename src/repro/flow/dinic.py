@@ -48,7 +48,12 @@ def max_flow(network) -> float:
     source, sink, head, cap, adj_start, adj_arcs = network.flow_arrays()
     if source == sink:
         raise ValueError("source and sink must differ")
-    return accel.dinic_max_flow(source, sink, head, cap, adj_start, adj_arcs)
+    # parametric networks hint their warm-start mode; one-shot networks
+    # have no such attribute and always solve cold
+    return accel.dinic_max_flow(
+        source, sink, head, cap, adj_start, adj_arcs,
+        warm=getattr(network, "_warm_hint", False),
+    )
 
 
 def min_cut(network) -> tuple[float, set]:

@@ -60,7 +60,8 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
-from .. import accel, obs
+from .. import accel, guard, obs
+from ..guard import sanitize
 from .network import EPS, build_csr, source_reachable
 
 
@@ -89,6 +90,7 @@ class ParametricNetwork:
         "vertex_labels",
         "_alpha",
         "_canceled",
+        "_warm_hint",
         "_checkpoint_alpha",
         "_checkpoint_cap",
         "_min_coeff",
@@ -123,6 +125,7 @@ class ParametricNetwork:
         self.cap = list(base_cap)
         self._alpha: Optional[float] = None
         self._canceled = False
+        self._warm_hint = False
         self._checkpoint_alpha: Optional[float] = None
         self._checkpoint_cap: Optional[list[float]] = None
         self._min_coeff = min(alpha_coeff, default=0.0)
@@ -261,7 +264,18 @@ class ParametricNetwork:
         the network size, the wall time, and the kernel work counters
         (BFS passes / augments for Dinic, pushes / relabels for
         push-relabel) read back from :data:`repro.accel.last_solve`.
+
+        This is also the guard layer's checkpoint: an active
+        :class:`repro.guard.Budget` is ticked *before* any warm-start
+        mutation, so :class:`~repro.guard.BudgetExceeded` always leaves
+        the residual state exactly as the previous solve did.  With
+        ``REPRO_CHECK`` on, the full flow-invariant battery
+        (:func:`repro.guard.sanitize.check_parametric`) runs on the
+        solved state.
         """
+        budget = guard.ACTIVE
+        if budget is not None:
+            budget.tick_solve(self.num_arcs)
         t0 = time.perf_counter() if obs.ENABLED else 0.0
         if self._alpha is not None and alpha == self._alpha:
             mode = "noop"  # residual state is already a max flow at this α
@@ -292,11 +306,14 @@ class ParametricNetwork:
         else:
             mode = "cold"
             self.set_alpha(alpha)
+        self._warm_hint = mode != "cold"
         if solver is None:
             from . import dinic as solver  # late import avoids a cycle
         solver.max_flow(self)
         if self._canceled:
             self._uncancel()
+        if guard.CHECK:
+            sanitize.check_parametric(self)
         if obs.ENABLED:
             work = dict(accel.last_solve)
             fields = {
@@ -376,7 +393,12 @@ class ParametricNetwork:
         alpha = low
         solves = 0
         while True:
-            cut = self.solve(alpha, solver)
+            try:
+                cut = self.solve(alpha, solver)
+            except guard.BudgetExceeded as exc:
+                # hand the walk's incumbent to whoever degrades gracefully
+                exc.attach_incumbent(best, best_density)
+                raise
             solves += 1
             if not cut:
                 break

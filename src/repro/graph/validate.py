@@ -1,0 +1,58 @@
+"""Input validation for the solver entry points.
+
+:func:`validate_graph` is the gate :func:`repro.api.densest_subgraph`
+runs before dispatching (``strict=True``, the default).  It turns the
+confusing downstream failures a malformed input would produce (empty
+flow networks, ``NaN`` densities poisoning every comparison, unhashable
+adjacency keys) into one actionable ``TypeError``/``ValueError`` at the
+boundary.  The :class:`~repro.graph.graph.Graph` data model already
+rejects self-loops at ``add_edge`` time and collapses duplicate /
+reversed edges, so those need no re-check here; the file reader
+(:func:`repro.graph.io.read_edge_list`) is where raw edge lists get the
+same treatment line by line.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .graph import Graph
+
+__all__ = ["validate_graph"]
+
+
+def validate_graph(graph: Graph, *, where: str = "densest_subgraph") -> None:
+    """Raise on inputs the solvers cannot produce a meaningful answer for.
+
+    Checks, in order:
+
+    * ``graph`` is a :class:`Graph` (``TypeError`` otherwise -- passing
+      an edge list or a networkx graph is the common mistake);
+    * the graph is non-empty (``ValueError``: the densest subgraph of
+      nothing is undefined, and the flow builders would construct a
+      source-sink-only network);
+    * no vertex id is a float ``NaN`` (``ValueError``: ``NaN != NaN``,
+      so such a vertex corrupts every set/dict lookup downstream).
+
+    Float ids that merely *allow* NaN are fine; only an actual NaN is
+    rejected.  Self-loops and duplicate edges cannot exist in a
+    ``Graph`` by construction, so they are not re-checked.
+    """
+    if not isinstance(graph, Graph):
+        raise TypeError(
+            f"{where} expects a repro.graph.graph.Graph, got "
+            f"{type(graph).__name__!r}; build one with Graph(edges) or "
+            "repro.graph.io.read_edge_list(path)"
+        )
+    if graph.num_vertices == 0:
+        raise ValueError(
+            f"{where}: the graph is empty; add vertices/edges first "
+            "(read_edge_list(path, strict=False) drops unusable lines "
+            "instead of raising if the source file is dirty)"
+        )
+    for v in graph:
+        if isinstance(v, float) and math.isnan(v):
+            raise ValueError(
+                f"{where}: vertex id NaN is not a usable key "
+                "(NaN != NaN breaks set membership); relabel the vertex"
+            )

@@ -1,0 +1,107 @@
+"""Deterministic fault injection for the accel kernel registry.
+
+Failover code that only runs when a kernel actually crashes is failover
+code that never runs in CI.  This module makes kernel failures a
+first-class, *reproducible* input: a fault plan names a kernel and the
+exact call number at which its next invocation must raise
+:class:`InjectedFault`, and the accel dispatchers consult the plan
+immediately before every kernel call.  Because the plan fires on exact
+call counts (not timers or randomness), a failing chaos run replays
+bit-identically.
+
+Two ways to arm a plan:
+
+* ``REPRO_FAULT=<kernel>:<nth>[,<kernel>:<nth>...]`` in the environment
+  (parsed at import, so it works for subprocesses and CI legs), e.g.
+  ``REPRO_FAULT=dinic:3`` fails the third dinic kernel call of the
+  process;
+* programmatically via :func:`inject` / :func:`reset` (what the tests
+  and ``make chaos-smoke`` use).
+
+Call counting starts when the plan is armed: the dispatchers skip the
+counting entirely while :data:`ARMED` is false, so an un-faulted
+process pays one module-attribute read per kernel call and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class InjectedFault(RuntimeError):
+    """The failure :func:`maybe_raise` injects on a planned call."""
+
+
+#: Fast-path flag the dispatchers read before anything else; true iff a
+#: fault plan is loaded (fired or not).
+ARMED = False
+
+_plan: dict[str, set[int]] = {}  # kernel -> call numbers that must fail
+_calls: dict[str, int] = {}  # kernel -> calls counted since arming
+_fired: list[dict] = []  # what actually fired, in order
+
+
+def inject(kernel: str, nth: int = 1) -> None:
+    """Arm a fault: the ``nth`` call of ``kernel`` (1-based) raises."""
+    global ARMED
+    if nth < 1:
+        raise ValueError(f"fault call number must be >= 1, got {nth}")
+    _plan.setdefault(kernel, set()).add(nth)
+    ARMED = True
+
+
+def reset() -> None:
+    """Drop the plan, the call counters, and the fired log."""
+    global ARMED
+    _plan.clear()
+    _calls.clear()
+    _fired.clear()
+    ARMED = False
+
+
+def parse(spec: str) -> None:
+    """Arm every fault in a ``<kernel>:<nth>[,...]`` spec string."""
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kernel, sep, nth = part.partition(":")
+        if not sep or not kernel:
+            raise ValueError(
+                f"bad REPRO_FAULT entry {part!r}: expected <kernel>:<nth>"
+            )
+        try:
+            n = int(nth)
+        except ValueError:
+            raise ValueError(
+                f"bad REPRO_FAULT entry {part!r}: call number must be an int"
+            ) from None
+        inject(kernel, n)
+
+
+def maybe_raise(kernel: str, tier: str) -> None:
+    """Count one ``kernel`` call on ``tier``; raise if the plan says so.
+
+    Called by the accel dispatchers right before the kernel runs, so an
+    injected fault never leaves half-mutated arrays behind.
+    """
+    if not ARMED:
+        return
+    n = _calls.get(kernel, 0) + 1
+    _calls[kernel] = n
+    if n in _plan.get(kernel, ()):
+        _fired.append({"kernel": kernel, "call": n, "tier": tier})
+        raise InjectedFault(
+            f"injected failure: kernel {kernel!r} call #{n} on tier {tier!r}"
+        )
+
+
+def fired() -> list[dict]:
+    """Copy of the faults that actually fired (kernel, call, tier)."""
+    return list(_fired)
+
+
+_env_spec = os.environ.get("REPRO_FAULT", "")
+if _env_spec:
+    parse(_env_spec)

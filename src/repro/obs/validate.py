@@ -14,7 +14,10 @@ is one JSON object per line.  Four record types:
     A one-shot record: name (str), seq, depth, fields (object).
     ``flow.solve`` events additionally must carry alpha (number),
     mode (one of the warm modes or "cold"), tier (str), nodes / arcs
-    (ints).
+    (ints).  ``guard.deadline`` events (a budget expiring) must carry
+    site / reason (str) and elapsed_s (number >= 0);
+    ``accel.failover`` events (a kernel demotion) must carry kernel /
+    from_tier / to_tier / error (str).
 ``summary``
     The trailer: the :meth:`repro.obs.Collector.summary` rollup keys
     (env, spans, events, counters, flow).
@@ -37,6 +40,8 @@ ENV_KEYS = (
 )
 FLOW_SOLVE_KEYS = ("alpha", "mode", "tier", "nodes", "arcs")
 FLOW_MODES = ("noop", "advance", "checkpoint", "retreat", "cold")
+GUARD_DEADLINE_KEYS = ("site", "reason", "elapsed_s")
+FAILOVER_KEYS = ("kernel", "from_tier", "to_tier", "error")
 SUMMARY_KEYS = ("env", "spans", "events", "counters", "flow")
 
 
@@ -115,6 +120,26 @@ def validate_records(lines: Iterable[str]) -> tuple[int, list[str]]:
                     isinstance(fields.get("alpha"), (int, float)), errors, lineno,
                     "flow.solve alpha must be a number",
                 )
+            if rec.get("name") == "guard.deadline" and isinstance(fields, dict):
+                for key in GUARD_DEADLINE_KEYS:
+                    _check(key in fields, errors, lineno, f"guard.deadline missing {key!r}")
+                for key in ("site", "reason"):
+                    _check(
+                        isinstance(fields.get(key), str), errors, lineno,
+                        f"guard.deadline {key} must be str",
+                    )
+                elapsed = fields.get("elapsed_s")
+                _check(
+                    isinstance(elapsed, (int, float)) and elapsed >= 0, errors, lineno,
+                    "guard.deadline elapsed_s must be a number >= 0",
+                )
+            if rec.get("name") == "accel.failover" and isinstance(fields, dict):
+                for key in FAILOVER_KEYS:
+                    _check(key in fields, errors, lineno, f"accel.failover missing {key!r}")
+                    _check(
+                        isinstance(fields.get(key), str), errors, lineno,
+                        f"accel.failover {key} must be str",
+                    )
         elif kind == "summary":
             for key in SUMMARY_KEYS:
                 _check(key in rec, errors, lineno, f"summary missing {key!r}")

@@ -309,3 +309,67 @@ class TestEndToEndBitIdentity:
         base = results[TIERS[0]]
         for tier in TIERS[1:]:
             assert results[tier] == base, tier
+
+
+class TestWarmAwareBfsDispatch:
+    """The numpy-tier BFS threshold is warmth-dependent (regression:
+    the old single threshold sent warm GGT re-solves to the numpy BFS,
+    whose per-call overhead never amortises over 1-3 short passes)."""
+
+    @pytest.fixture(autouse=True)
+    def _numpy_tier(self):
+        from repro.accel import vector
+
+        if not _probe_import("numpy"):
+            pytest.skip("numpy unavailable: no BFS dispatch to probe")
+        saved = (vector.NUMPY_BFS_MIN_ARCS, vector.NUMPY_BFS_MIN_ARCS_WARM)
+        accel.select_tier("numpy")
+        yield
+        vector.NUMPY_BFS_MIN_ARCS, vector.NUMPY_BFS_MIN_ARCS_WARM = saved
+        accel.select_tier(None)
+
+    def test_warm_solves_take_scalar_cold_takes_numpy(self):
+        """With the cold threshold forced to 0, a cold solve picks the
+        numpy BFS while warm re-solves still pick the scalar BFS -- the
+        deterministic statement of the warmth split."""
+        from repro import obs
+        from repro.accel import vector
+
+        vector.NUMPY_BFS_MIN_ARCS = 0  # cold: numpy BFS at any size
+        g = random_graph(40, 170, seed=7)
+        net = build_eds_parametric(g)
+        obs.enable()
+        try:
+            net.solve(0.5)  # cold
+            net.solve(1.0)  # warm advance
+            net.solve(1.5)  # warm advance
+            events = [
+                e["fields"]
+                for e in obs.get_collector().events()
+                if e["name"] == "flow.solve"
+            ]
+        finally:
+            obs.disable()
+        modes = [(f["mode"], f.get("bfs_mode")) for f in events]
+        assert modes[0] == ("cold", "numpy"), modes
+        for mode, bfs in modes[1:]:
+            assert mode != "cold", modes
+            assert bfs == "scalar", modes
+
+    def test_default_warm_threshold_is_unreachable(self):
+        from repro.accel import vector
+
+        assert vector.NUMPY_BFS_MIN_ARCS_WARM > 1 << 40
+        assert vector.NUMPY_BFS_MIN_ARCS < vector.NUMPY_BFS_MIN_ARCS_WARM
+
+    def test_warm_hint_threaded_from_parametric(self):
+        """The parametric engine's warm-start mode reaches the vector
+        module through the dispatcher's ``warm=`` keyword."""
+        from repro.accel import vector
+
+        g = random_graph(30, 120, seed=9)
+        net = build_eds_parametric(g)
+        net.solve(0.5)
+        assert vector.SOLVE_IS_WARM is False  # first solve is cold
+        net.solve(1.0)
+        assert vector.SOLVE_IS_WARM is True  # re-solve came in warm

@@ -58,3 +58,34 @@ class TestDispatch:
         g = Graph([(0, 1), (0, 2), (1, 2), (2, 3)])
         result = densest_subgraph(g, psi="triangle", method="core-exact")
         assert sorted(result.vertices) == [0, 1, 2]
+
+
+class TestInputValidation:
+    """densest_subgraph(strict=True) gates malformed inputs up front."""
+
+    def test_non_graph_raises_type_error(self):
+        with pytest.raises(TypeError, match="expects a repro.graph.graph.Graph"):
+            densest_subgraph([(1, 2), (2, 3)])
+
+    def test_empty_graph_raises_with_pointer(self):
+        with pytest.raises(ValueError, match="empty"):
+            densest_subgraph(Graph())
+
+    def test_nan_vertex_raises(self):
+        g = Graph()
+        g.add_edge(float("nan"), 1)
+        with pytest.raises(ValueError, match="NaN"):
+            densest_subgraph(g)
+
+    def test_strict_false_keeps_legacy_empty_behaviour(self):
+        result = densest_subgraph(Graph(), strict=False)
+        assert result.vertices == set()
+        assert result.density == 0.0
+
+    def test_valid_graph_passes_the_gate(self):
+        assert densest_subgraph(complete_graph(4), 2).density == 1.5
+
+    def test_validation_happens_before_method_check(self):
+        # the gate runs first, so a doubly-wrong call reports the input
+        with pytest.raises(TypeError):
+            densest_subgraph("not a graph", method="bogus")

@@ -65,3 +65,61 @@ class TestWrite:
         buffer = io.StringIO()
         write_edge_list(Graph([(0, 1)]), buffer)
         assert buffer.getvalue().startswith("#")
+
+
+class TestStrictMode:
+    """read_edge_list(strict=True): corruption raises, line-numbered."""
+
+    def test_self_loop_raises(self):
+        with pytest.raises(ValueError, match=r"line 2: self-loop.*strict=False"):
+            read_edge_list(io.StringIO("1 2\n3 3\n"), strict=True)
+
+    def test_duplicate_edge_raises(self):
+        with pytest.raises(ValueError, match="line 2: duplicate"):
+            read_edge_list(io.StringIO("1 2\n1 2\n"), strict=True)
+
+    def test_reversed_duplicate_raises(self):
+        with pytest.raises(ValueError, match="line 2: duplicate"):
+            read_edge_list(io.StringIO("1 2\n2 1\n"), strict=True)
+
+    def test_zero_weight_raises(self):
+        with pytest.raises(ValueError, match="zero-weight"):
+            read_edge_list(io.StringIO("1 2 0\n"), strict=True)
+
+    def test_unparsable_weight_raises(self):
+        with pytest.raises(ValueError, match="unparsable edge weight"):
+            read_edge_list(io.StringIO("1 2 abc\n"), strict=True)
+
+    def test_no_usable_edges_raises(self):
+        # all-comment / blank inputs stay fine; edge lines that all get
+        # rejected would have, but in strict mode the first one raises
+        # anyway -- the empty-result check guards pathological streams
+        read_edge_list(io.StringIO("# nothing\n"), strict=True)
+
+    def test_clean_input_identical_between_modes(self):
+        text = "1 2\n2 3\n3 1\n"
+        assert read_edge_list(io.StringIO(text), strict=True) == read_edge_list(
+            io.StringIO(text)
+        )
+
+    @pytest.mark.parametrize("weight", ["nan", "-1", "inf", "-inf"])
+    def test_corrupt_weight_raises_in_both_modes(self, weight):
+        for strict in (False, True):
+            with pytest.raises(ValueError, match="finite non-negative"):
+                read_edge_list(io.StringIO(f"1 2 {weight}\n"), strict=strict)
+
+
+class TestCleanupMode:
+    """strict=False scrubs: drops loops/dups/zero-weight, keeps the rest."""
+
+    def test_drops_self_loops_duplicates_and_zero_weight(self):
+        g = read_edge_list(
+            io.StringIO("1 2\n2 1\n3 3\n4 5 0\n5 6 2.5\n")
+        )
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2) and g.has_edge(5, 6)
+        assert 4 not in g  # the zero-weight edge never materialised
+
+    def test_tolerates_non_numeric_third_token(self):
+        g = read_edge_list(io.StringIO("1 2 blue\n"))
+        assert g.has_edge(1, 2)
