@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-checked test-clique-index bench-smoke bench ablation bench-accel trace-smoke chaos-smoke lint
+.PHONY: test test-checked test-clique-index bench-smoke bench ablation bench-accel trace-smoke chaos-smoke lint lint-deep typecheck
 
 test:
 	$(PY) -m pytest -x -q
@@ -62,6 +62,19 @@ trace-smoke:
 chaos-smoke:
 	$(PY) -m repro.guard.chaos
 
-# Fast syntax/undefined-name lint (CI runs it before the test matrix).
+# Style/pyflakes/bugbear lint (CI runs it before the test matrix).
 lint:
 	python -m ruff check src tests benchmarks examples
+
+# Project-specific invariant linter (repro.analysis): jit-safety of the
+# accel kernels, cross-tier signature parity, determinism hazards,
+# obs/guard instrumentation coverage, env-read discipline.  No deps
+# beyond the stdlib -- runs anywhere the package imports.
+lint-deep:
+	$(PY) -m repro.analysis src/repro
+
+# Typing gate over the infrastructure layers (scope set in pyproject's
+# [tool.mypy] files list: repro.obs, repro.guard, repro.analysis,
+# repro.env).
+typecheck:
+	python -m mypy

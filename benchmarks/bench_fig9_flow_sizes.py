@@ -17,7 +17,8 @@ def test_fig9_flow_network_sizes(benchmark, emit, bench_scale):
     # shape check: the located network (iter 0) never exceeds the full one
     for name in ("Ca-HepTh", "As-Caida"):
         for h in (2, 3):
-            sizes = {r["iteration"]: r["network_nodes"] for r in rows if r["dataset"] == name and r["h"] == h}
+            sizes = {r["iteration"]: r["network_nodes"]
+                     for r in rows if r["dataset"] == name and r["h"] == h}
             if 0 in sizes:
                 assert sizes[0] <= sizes[-1]
 

@@ -14,12 +14,12 @@ raise it toward 1.0 for higher-fidelity tables, lower it for speed.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Sequence
 
 import pytest
 
+from repro import env
 from repro.experiments.harness import format_table
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -27,7 +27,7 @@ OUT_DIR = Path(__file__).parent / "out"
 
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    return env.number("REPRO_BENCH_SCALE")
 
 
 @pytest.fixture(scope="session")

@@ -7,7 +7,7 @@ API end to end:
     python examples/quickstart.py
 """
 
-from repro import Graph, densest_subgraph
+from repro import densest_subgraph
 from repro.graph.generators import erdos_renyi_gnm, planted_clique
 
 

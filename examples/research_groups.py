@@ -56,7 +56,8 @@ def main() -> None:
     print("paper-shape checks:")
     print(f"  triangle PDS completeness {tri_complete:.2f} (expect near 1.0)")
     print(
-        f"  2-star PDS hub ratio {star_degrees[0] / max(star_degrees[len(star_degrees) // 2], 1):.1f}"
+        "  2-star PDS hub ratio "
+        f"{star_degrees[0] / max(star_degrees[len(star_degrees) // 2], 1):.1f}"
         " (expect >> 1)"
     )
     for name in ("triangle", "2-star"):

@@ -12,7 +12,7 @@ Set ``REPRO_TRACE=trace.jsonl`` instead to stream the same records to a
 JSONL file from any unmodified run.
 """
 
-from repro import Graph, densest_subgraph, obs
+from repro import densest_subgraph, obs
 from repro.graph.generators import erdos_renyi_gnm, planted_clique
 
 

@@ -67,15 +67,14 @@ float reassociation and break bit-identity with the other tiers.
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 
-from .. import obs
+from .. import env, obs
 from ..guard import faults as _faults
 from . import pure, vector
 
-if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+if env.flag("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
 else:
     try:
@@ -84,7 +83,7 @@ else:
         np = None
 
 numba = None
-if np is not None and not os.environ.get("REPRO_NO_NUMBA"):
+if np is not None and not env.flag("REPRO_NO_NUMBA"):
     try:
         import numba  # type: ignore[no-redef]
     except ImportError:  # expected: numba is an optional extra
@@ -294,7 +293,7 @@ def select_tier(tier: str | None = None) -> str:
     if tier is None:
         if NUMBA_JITTED:
             tier = "numba"
-        elif np is not None and os.environ.get("REPRO_NUMBA_INTERP"):
+        elif np is not None and env.flag("REPRO_NUMBA_INTERP"):
             tier = "numba"
         elif np is not None:
             tier = "numpy"

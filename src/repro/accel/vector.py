@@ -16,12 +16,11 @@ augmenting-path sequence and every residual float stay bit-identical
 
 from __future__ import annotations
 
-import os
-
+from .. import env
 from ..flow.network import EPS
 from . import pure
 
-if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+if env.flag("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
 else:
     try:  # optional: the scalar BFS is used when numpy is absent

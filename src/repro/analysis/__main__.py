@@ -1,0 +1,82 @@
+"""CLI of the invariant linter: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``REPRO_LINT_SELECT``
+/ ``REPRO_LINT_IGNORE`` provide environment defaults for ``--select``
+/ ``--ignore`` (explicit flags win).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .. import env
+from .core import RULES, render_json, render_text, resolve_rules, run_paths
+
+
+def _split(value: Optional[str]) -> Optional[list[str]]:
+    if not value:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific invariant linter (see README 'Static analysis').",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all; "
+        "env default REPRO_LINT_SELECT)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip (env default REPRO_LINT_IGNORE)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--env-table", action="store_true",
+        help="print the repro.env variable registry as a Markdown table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in RULES.items():
+            print(f"{rule_id}: {cls.doc}")
+        print("suppression: lint-ok comments must name a rule and carry a reason")
+        print("syntax: every linted file must parse")
+        return 0
+    if args.env_table:
+        print(env.markdown_table())
+        return 0
+
+    select = _split(args.select) or _split(env.text("REPRO_LINT_SELECT"))
+    ignore = _split(args.ignore) or _split(env.text("REPRO_LINT_IGNORE"))
+    try:
+        rules = resolve_rules(select, ignore)
+        findings, files = run_paths(args.paths, select, ignore)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, files, rules))
+    else:
+        print(render_text(findings, files))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,292 @@
+"""``jit-safety``: keep ``accel/kernels.py`` inside the nopython subset.
+
+The numba tier compiles every function of ``accel/kernels.py`` with
+``njit`` -- but numba is not installed in the dev container, so a
+non-jittable edit historically surfaced only in CI's numba job.  This
+rule proves jittability-by-construction locally: every function listed
+in the module's ``KERNEL_NAMES`` (and every other top-level function in
+the file) must stay inside an explicit whitelist of the nopython subset
+this project relies on:
+
+* no closures / nested functions / lambdas, no comprehensions or
+  generator expressions, no dict/set literals, no try/with, no
+  generators, no string or bytes constants beyond the docstring;
+* calls only to whitelisted builtins (``range``, ``len``, ``abs``,
+  ``min``, ``max``, ``int``, ``float``, ``bool``), whitelisted ``np.*``
+  constructors/predicates, and the ``.copy()`` method;
+* attribute access only on ``np`` (whitelisted attrs) plus the
+  ``.shape`` / ``.copy`` array members;
+* no module-global reads except ``np`` and the ``EPS`` literal (numba
+  freezes globals into compiled code -- anything else is a trap);
+* plain positional parameters only (no defaults, ``*args`` or
+  keyword-only args).
+
+The rule also pins the ``EPS`` duplication hazard: ``accel/kernels.py``
+keeps its own ``EPS`` literal (again: numba freezes globals), and this
+rule statically asserts it equals the ``EPS`` literal in
+``flow/network.py`` -- drift would silently break cross-tier
+bit-identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .core import Finding, Project, Rule, SourceFile, call_name, module_constants, rule
+
+#: Builtins the kernels may call (all njit-supported).
+BUILTIN_CALLS = frozenset({"range", "len", "abs", "min", "max", "int", "float", "bool"})
+
+#: ``np.*`` members the kernels may touch -- constructors, predicates,
+#: and the dtype names used as their arguments.
+NP_ATTRS = frozenset({
+    "empty", "zeros", "full", "isinf", "isnan", "int64", "float64", "uint8",
+})
+
+#: ``np.*`` members that may be *called* (subset of :data:`NP_ATTRS`).
+NP_CALLS = frozenset({"empty", "zeros", "full", "isinf", "isnan"})
+
+#: Methods callable on any expression (array members njit supports and
+#: the kernels actually use).
+METHOD_CALLS = frozenset({"copy"})
+
+#: Non-np attribute reads allowed on any expression.
+ATTR_READS = frozenset({"shape", "copy"})
+
+#: Module globals a kernel body may read.
+GLOBAL_READS = frozenset({"EPS", "np"})
+
+#: Statement/expression node types that are never allowed in a kernel.
+_BANNED_NODES: tuple = (
+    (ast.Lambda, "lambda (closure)"),
+    (ast.ListComp, "list comprehension"),
+    (ast.SetComp, "set comprehension"),
+    (ast.DictComp, "dict comprehension"),
+    (ast.GeneratorExp, "generator expression"),
+    (ast.Dict, "dict literal"),
+    (ast.Set, "set literal"),
+    (ast.Try, "try/except"),
+    (ast.With, "with block"),
+    (ast.Yield, "yield (generator)"),
+    (ast.YieldFrom, "yield from (generator)"),
+    (ast.Await, "await"),
+    (ast.Global, "global statement"),
+    (ast.Nonlocal, "nonlocal statement"),
+    (ast.Starred, "starred expression"),
+    (ast.JoinedStr, "f-string"),
+)
+
+
+def _local_names(func: ast.FunctionDef) -> set[str]:
+    """Parameter and assigned names of ``func`` (its local scope)."""
+    names = {arg.arg for arg in func.args.posonlyargs + func.args.args}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+class _KernelVisitor(ast.NodeVisitor):
+    """Walks one kernel function and records whitelist violations."""
+
+    def __init__(self, source: SourceFile, func: ast.FunctionDef):
+        self.source = source
+        self.func = func
+        self.locals = _local_names(func)
+        self.findings: list[Finding] = []
+        #: call targets already reported, to not double-report their
+        #: Name/Attribute children
+        self._reported_exprs: set[ast.AST] = set()
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.source.rel,
+                getattr(node, "lineno", self.func.lineno),
+                getattr(node, "col_offset", 0),
+                JitSafety.id,
+                f"{self.func.name}: {message}",
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self._check_signature()
+        body = self.func.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            body = body[1:]  # the docstring is stripped before compilation
+        for stmt in body:
+            self.visit(stmt)
+        return self.findings
+
+    def _check_signature(self) -> None:
+        args = self.func.args
+        if args.vararg or args.kwarg:
+            self.emit(self.func, "*args/**kwargs are not jittable")
+        if args.kwonlyargs:
+            self.emit(self.func, "keyword-only parameters are not jittable")
+        if args.defaults or args.kw_defaults:
+            self.emit(self.func, "default parameter values are outside the kernel whitelist")
+
+    # --- structural bans ---------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.emit(node, f"nested function {node.name!r} (closure) is not jittable")
+        # do not descend: one finding per closure is enough
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for banned, label in _BANNED_NODES:
+            if isinstance(node, banned):
+                self.emit(node, f"{label} is outside the nopython whitelist")
+                return  # don't descend into a construct that is already fatal
+        super().generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, (str, bytes)):
+            self.emit(node, "string constant (string ops are outside the kernel whitelist)")
+
+    # --- calls, attributes, globals ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if node.keywords:
+            self.emit(node, f"keyword arguments in call to {call_name(node.func)}")
+        target = node.func
+        ok = False
+        if isinstance(target, ast.Name):
+            ok = target.id in BUILTIN_CALLS
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "np":
+                ok = target.attr in NP_CALLS
+            else:
+                ok = target.attr in METHOD_CALLS
+        if not ok:
+            self.emit(node, f"call to {call_name(target)} is outside the kernel whitelist")
+        if isinstance(target, (ast.Name, ast.Attribute)):
+            self._reported_exprs.add(target)
+            if isinstance(target, ast.Attribute):
+                # the receiver of an allowed method call is still checked
+                self.visit(target.value)
+        for child in node.args:
+            self.visit(child)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node in self._reported_exprs:
+            return
+        if isinstance(node.value, ast.Name) and node.value.id == "np":
+            if node.attr not in NP_ATTRS:
+                self.emit(node, f"np.{node.attr} is outside the kernel whitelist")
+            self._reported_exprs.add(node.value)
+            return
+        if node.attr not in ATTR_READS:
+            self.emit(
+                node,
+                f"attribute {call_name(node)!r} is outside the kernel whitelist",
+            )
+        self.visit(node.value)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node in self._reported_exprs or not isinstance(node.ctx, ast.Load):
+            return
+        if node.id in self.locals or node.id in BUILTIN_CALLS:
+            return
+        if node.id in GLOBAL_READS:
+            return
+        self.emit(
+            node,
+            f"module-global read of {node.id!r} (numba freezes globals; "
+            f"only EPS and np are whitelisted)",
+        )
+
+
+def _eps_literal(tree: ast.Module) -> Optional[tuple[float, int]]:
+    """The module's ``EPS = <number>`` literal and its line, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "EPS"
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, float))
+            ):
+                return float(node.value.value), node.lineno
+    return None
+
+
+@rule
+class JitSafety(Rule):
+    id = "jit-safety"
+    doc = (
+        "accel/kernels.py stays inside the explicit nopython whitelist "
+        "and its EPS literal matches flow/network.py"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        source = project.find("accel/kernels.py")
+        if source is None or source.tree is None:
+            return
+        constants = module_constants(source.tree)
+        kernel_names = constants.get("KERNEL_NAMES")
+        names_lineno = 1
+        for node in source.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "KERNEL_NAMES"
+                    for t in node.targets
+                )
+            ):
+                names_lineno = node.lineno
+        functions = {
+            node.name: node
+            for node in source.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        if isinstance(kernel_names, tuple):
+            for name in kernel_names:
+                if name not in functions:
+                    yield Finding(
+                        source.rel, names_lineno, 0, self.id,
+                        f"KERNEL_NAMES lists {name!r} but the module defines no "
+                        f"such function",
+                    )
+        for func in functions.values():
+            yield from _KernelVisitor(source, func).run()
+        yield from self._check_eps(project, source)
+
+    def _check_eps(self, project: Project, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        kernel_eps = _eps_literal(source.tree)
+        if kernel_eps is None:
+            yield Finding(
+                source.rel, 1, 0, self.id,
+                "module must define EPS as a numeric literal (numba freezes "
+                "globals into compiled code)",
+            )
+            return
+        canonical = project.find("flow/network.py")
+        if canonical is None or canonical.tree is None:
+            return  # linting a subtree without the flow layer: nothing to pin
+        network_eps = _eps_literal(canonical.tree)
+        if network_eps is None:
+            yield Finding(
+                canonical.rel, 1, 0, self.id,
+                "flow/network.py must define EPS as a numeric literal (the "
+                "canonical epsilon the kernel copy is pinned against)",
+            )
+            return
+        if kernel_eps[0] != network_eps[0]:
+            yield Finding(
+                source.rel, kernel_eps[1], 0, self.id,
+                f"EPS literal {kernel_eps[0]!r} differs from flow/network.py "
+                f"EPS {network_eps[0]!r}: cross-tier bit-identity is broken",
+            )

@@ -103,7 +103,9 @@ def enumerate_cliques(graph: Graph, h: int) -> Iterator[tuple[Vertex, ...]]:
                             yield base + (x,)
         return
 
-    def expand(prefix: list[Vertex], candidates: list[Vertex], depth: int) -> Iterator[tuple[Vertex, ...]]:
+    def expand(
+        prefix: list[Vertex], candidates: list[Vertex], depth: int
+    ) -> Iterator[tuple[Vertex, ...]]:
         if depth == h - 1:
             # any single candidate completes the clique: emit directly,
             # skipping the (useless) candidate filtering of a last level

@@ -31,12 +31,12 @@ equivalence tests in both modes).
 
 from __future__ import annotations
 
-import os
 from typing import Optional, Sequence
 
+from .. import env
 from ..graph.graph import Graph
 
-if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+if env.flag("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
 else:
     try:

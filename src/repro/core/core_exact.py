@@ -383,7 +383,9 @@ def core_exact_densest(
                     while True:
                         nc = state.num_vertices
                         resolution = (
-                            1.0 / (nc * (nc - 1)) if pruning3 and nc > 1 else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
+                            1.0 / (nc * (nc - 1))
+                            if pruning3 and nc > 1
+                            else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
                         )
                         if high - low < resolution:
                             break
@@ -406,7 +408,8 @@ def core_exact_densest(
                     raise
 
                 if candidate_local:
-                    if candidate is None or cached_density(candidate_local) > cached_density(candidate):
+                    if (candidate is None
+                            or cached_density(candidate_local) > cached_density(candidate)):
                         candidate = candidate_local
 
         try:
@@ -419,7 +422,8 @@ def core_exact_densest(
             if exc.incumbent is not None:
                 density_cache.setdefault(frozenset(exc.incumbent), exc.incumbent_density)
                 candidate_from_exc = set(exc.incumbent)
-                if candidate is None or cached_density(candidate_from_exc) > cached_density(candidate):
+                if (candidate is None
+                        or cached_density(candidate_from_exc) > cached_density(candidate)):
                     candidate = candidate_from_exc
 
         # --- pick the best of: binary-search result, Pruning1/2 seeds -----

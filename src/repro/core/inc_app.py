@@ -15,7 +15,9 @@ from .clique_core import clique_core_decomposition
 from .exact import DensestSubgraphResult
 
 
-def inc_app_densest(graph: Graph, h: int = 2, index: CliqueIndex | None = None) -> DensestSubgraphResult:
+def inc_app_densest(
+    graph: Graph, h: int = 2, index: CliqueIndex | None = None
+) -> DensestSubgraphResult:
     """Algorithm 5: return the (kmax, Ψ)-core of ``graph``.
 
     For a graph with no Ψ instance, the full vertex set at density 0.

@@ -19,7 +19,6 @@ instances:
 from __future__ import annotations
 
 import math
-from collections import Counter
 from typing import Optional, Sequence
 
 from ..cliques.enumeration import CliqueIndex
@@ -30,7 +29,9 @@ from ..patterns.pattern import Pattern
 from .clique_core import CliqueCoreResult, peel_index_decomposition
 
 
-def pattern_index(graph: Graph, pattern: Pattern, instances: Optional[Sequence[Instance]] = None) -> CliqueIndex:
+def pattern_index(
+    graph: Graph, pattern: Pattern, instances: Optional[Sequence[Instance]] = None
+) -> CliqueIndex:
     """Build a peelable instance index for ``pattern`` over ``graph``."""
     if instances is None:
         instances = enumerate_pattern_instances(graph, pattern)

@@ -121,7 +121,9 @@ def _ppi(n: int, alpha: float, mean_degree: float, seed: int, scale: float) -> G
     return graph
 
 
-def _collab_with_hub(n: int, m_per: int, clique: int, hub_degree: int, seed: int, scale: float) -> Graph:
+def _collab_with_hub(
+    n: int, m_per: int, clique: int, hub_degree: int, seed: int, scale: float
+) -> Graph:
     """Collaboration surrogate with a planted clique *and* a hub.
 
     The hub (an advisor linked to many otherwise-unrelated authors)
@@ -134,7 +136,8 @@ def _collab_with_hub(n: int, m_per: int, clique: int, hub_degree: int, seed: int
     rng = random.Random(seed + 200)
     vertices = sorted(graph.vertices())
     hub = vertices[0]
-    targets = rng.sample(vertices[1:], min(int(hub_degree * scale) or hub_degree, len(vertices) - 1))
+    hub_count = min(int(hub_degree * scale) or hub_degree, len(vertices) - 1)
+    targets = rng.sample(vertices[1:], hub_count)
     for t in targets:
         graph.add_edge(hub, t)
     return graph
@@ -162,15 +165,19 @@ _register("As-Caida", "small", 26_475, 106_762, lambda s=1.0: _powerlaw(3_000, 2
 
 # --- large real graphs (approximation algorithms only) ----------------
 _register("DBLP", "large", 425_957, 1_049_866, lambda s=1.0: _collab(8_000, 3, 26, 21, s))
-_register("Cit-Patents", "large", 3_774_768, 16_518_948, lambda s=1.0: _powerlaw(12_000, 2.3, 8.0, 22, s))
-_register("Friendster", "large", 20_145_325, 106_570_765, lambda s=1.0: _collab(16_000, 5, 30, 23, s))
-_register("Enwiki-2017", "large", 5_409_498, 122_008_994, lambda s=1.0: _powerlaw(14_000, 2.4, 16.0, 24, s))
+_register("Cit-Patents", "large", 3_774_768, 16_518_948,
+          lambda s=1.0: _powerlaw(12_000, 2.3, 8.0, 22, s))
+_register("Friendster", "large", 20_145_325, 106_570_765,
+          lambda s=1.0: _collab(16_000, 5, 30, 23, s))
+_register("Enwiki-2017", "large", 5_409_498, 122_008_994,
+          lambda s=1.0: _powerlaw(14_000, 2.4, 16.0, 24, s))
 _register("UK-2002", "large", 18_520_486, 298_113_762, lambda s=1.0: _collab(20_000, 6, 32, 25, s))
 
 # --- additional datasets (Appendix E / Figure 20) ----------------------
 _register("Flickr", "extra", 214_698, 2_096_306, lambda s=1.0: _powerlaw(6_000, 2.2, 12.0, 31, s))
 _register("Google", "extra", 875_713, 4_322_051, lambda s=1.0: _collab(8_000, 4, 24, 32, s))
-_register("Foursquare", "extra", 2_127_093, 8_640_352, lambda s=1.0: _powerlaw(10_000, 2.5, 8.0, 33, s))
+_register("Foursquare", "extra", 2_127_093, 8_640_352,
+          lambda s=1.0: _powerlaw(10_000, 2.5, 8.0, 33, s))
 
 # --- synthetic random graphs (Section 8, Figures 13/14) ----------------
 _register(

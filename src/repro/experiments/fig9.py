@@ -42,7 +42,8 @@ def run(
         result = core_exact_densest(graph, h)
         sizes = result.stats["network_sizes"][: max_iterations + 1]
         rows.append(
-            {"dataset": name, "h": h, "iteration": -1, "network_nodes": _full_network_size(graph, h)}
+            {"dataset": name, "h": h, "iteration": -1,
+             "network_nodes": _full_network_size(graph, h)}
         )
         for i, size in enumerate(sizes):
             rows.append({"dataset": name, "h": h, "iteration": i, "network_nodes": size})

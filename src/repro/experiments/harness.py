@@ -9,7 +9,7 @@ as text.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from .. import obs
 from ..graph.graph import Graph
@@ -52,7 +52,9 @@ def profiled(fn: Callable, *args, **kwargs) -> tuple[object, float, dict]:
     return result, seconds, summary
 
 
-def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+def format_table(
+    rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
     """Render rows as an aligned text table.
 
     Floats print with 4 significant decimals; missing cells as ``-``.
@@ -81,7 +83,9 @@ def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, tit
     return "\n".join(lines)
 
 
-def print_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> None:
+def print_table(
+    rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = ""
+) -> None:
     """Print :func:`format_table` output (benchmarks call this)."""
     print()
     print(format_table(rows, columns, title))

@@ -15,7 +15,9 @@ from ..datasets.registry import dataset_names, get_spec, load
 from ..graph.stats import diameter, power_law_alpha
 
 
-def run(names: list[str] | None = None, scale: float = 1.0, triangle_core: bool = True) -> list[dict]:
+def run(
+    names: list[str] | None = None, scale: float = 1.0, triangle_core: bool = True
+) -> list[dict]:
     """Compute the statistics rows.
 
     Parameters

@@ -48,7 +48,7 @@ def greedy_pp_densest(graph: Graph, rounds: int = 8) -> DensestSubgraphResult:
         work = graph.copy()
         alive = set(work.vertices())
         while len(alive) > 1:
-            v = min(alive, key=lambda u: load[u] + work.degree(u))
+            v = min(alive, key=lambda u, w=work: load[u] + w.degree(u))
             load[v] += work.degree(v)
             work.remove_vertex(v)
             alive.discard(v)

@@ -18,10 +18,11 @@ resolution that terminates the search (Lemma 12).
 from __future__ import annotations
 
 import math
-import os
 from typing import Hashable
 
-if os.environ.get("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
+from .. import env
+
+if env.flag("REPRO_NO_NUMPY"):  # explicit opt-out for CI / ablations
     np = None
 else:
     try:  # numpy accelerates CSR assembly; the flow layer works without it
@@ -174,7 +175,8 @@ class FlowNetwork:
         mutate it in place.
         """
         adj_start, adj_arcs = self.csr()
-        return self._ids[self.source], self._ids[self.sink], self.head, self.cap, adj_start, adj_arcs
+        return (self._ids[self.source], self._ids[self.sink], self.head, self.cap,
+                adj_start, adj_arcs)
 
     def reset(self, capacities: list[float]) -> None:
         """Restore all arc capacities (e.g. to re-run a solver)."""

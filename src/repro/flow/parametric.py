@@ -357,7 +357,9 @@ class ParametricNetwork:
                 b_term += coeff_of(arc, 0.0)
         return a_term, b_term
 
-    def max_density(self, density_of, low: float = 0.0, solver=None) -> tuple[Optional[set], float, int]:
+    def max_density(
+        self, density_of, low: float = 0.0, solver=None
+    ) -> tuple[Optional[set], float, int]:
         """Optimal α and its minimal cut, no binary search (GGT/Newton walk).
 
         A discrete-Newton (Dinkelbach) iteration on the parametric

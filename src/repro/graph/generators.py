@@ -255,7 +255,8 @@ def holme_kim(
                 and graph.degree(prev_target) > 0
             ):
                 # triangle-formation step: attach to a neighbour of prev.
-                candidates = [w for w in graph.neighbors(prev_target) if w != new and w not in targets]
+                candidates = [w for w in graph.neighbors(prev_target)
+                              if w != new and w not in targets]
                 if candidates:
                     choice = rng.choice(candidates)
                     targets.add(choice)

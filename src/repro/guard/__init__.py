@@ -42,11 +42,10 @@ wrong answers become loud ones.
 from __future__ import annotations
 
 import math
-import os
 import time
 from typing import Optional
 
-from .. import obs
+from .. import env, obs
 from . import faults
 from .sanitize import SanitizerError
 
@@ -286,5 +285,5 @@ def degraded_stats(
     }
 
 
-if os.environ.get("REPRO_CHECK", "").strip().lower() in ("1", "true", "yes", "on"):
+if env.switch("REPRO_CHECK"):
     CHECK = True

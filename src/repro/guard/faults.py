@@ -26,7 +26,7 @@ else.
 
 from __future__ import annotations
 
-import os
+from .. import env
 
 
 class InjectedFault(RuntimeError):
@@ -102,6 +102,6 @@ def fired() -> list[dict]:
     return list(_fired)
 
 
-_env_spec = os.environ.get("REPRO_FAULT", "")
+_env_spec = env.text("REPRO_FAULT")
 if _env_spec:
     parse(_env_spec)

@@ -50,6 +50,8 @@ import sys
 import time
 from typing import Optional, TextIO
 
+from .. import env
+
 __all__ = [
     "ENABLED",
     "Collector",
@@ -387,7 +389,7 @@ def env_fingerprint() -> dict:
 
 # --- REPRO_TRACE: configure at import --------------------------------
 
-_env_value = os.environ.get("REPRO_TRACE", "")
+_env_value = env.text("REPRO_TRACE")
 if _env_value:
     if _env_value.lower() in ("1", "true", "yes", "on"):
         enable()

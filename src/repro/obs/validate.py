@@ -11,13 +11,13 @@ is one JSON object per line.  Four record types:
     A closed timed scope: name (str), seq (int >= 1), depth (int >= 0),
     parent (str or null), dur_s (float >= 0), optional attrs (object).
 ``event``
-    A one-shot record: name (str), seq, depth, fields (object).
-    ``flow.solve`` events additionally must carry alpha (number),
-    mode (one of the warm modes or "cold"), tier (str), nodes / arcs
-    (ints).  ``guard.deadline`` events (a budget expiring) must carry
-    site / reason (str) and elapsed_s (number >= 0);
-    ``accel.failover`` events (a kernel demotion) must carry kernel /
-    from_tier / to_tier / error (str).
+    A one-shot record: name (str), seq, depth, fields (object).  Every
+    event name the package emits has an entry in :data:`EVENT_SCHEMAS`
+    describing its required and optional fields -- the registry is the
+    single source of truth consumed both by this validator and by the
+    ``obs-coverage`` rule of :mod:`repro.analysis`, which flags any
+    ``obs.event(...)`` call whose name is missing here (schema drift
+    fails the lint, not a production trace read).
 ``summary``
     The trailer: the :meth:`repro.obs.Collector.summary` rollup keys
     (env, spans, events, counters, flow).
@@ -32,22 +32,120 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 ENV_KEYS = (
     "python", "platform", "numpy", "numba", "numba_available", "active_tier",
     "kernel_tiers",
 )
-FLOW_SOLVE_KEYS = ("alpha", "mode", "tier", "nodes", "arcs")
 FLOW_MODES = ("noop", "advance", "checkpoint", "retreat", "cold")
-GUARD_DEADLINE_KEYS = ("site", "reason", "elapsed_s")
-FAILOVER_KEYS = ("kernel", "from_tier", "to_tier", "error")
 SUMMARY_KEYS = ("env", "spans", "events", "counters", "flow")
+
+
+class Field(NamedTuple):
+    """One field of an event schema.
+
+    ``kind`` is ``"str"`` / ``"number"`` / ``"int"``; ``choices``
+    restricts string values; ``nonneg`` restricts numeric ones.
+    """
+
+    kind: str
+    required: bool = True
+    choices: tuple = ()
+    nonneg: bool = False
+
+
+#: Schema of every obs event the package emits, by event name.  An
+#: ``obs.event("x", ...)`` call anywhere in ``repro`` without an ``"x"``
+#: entry here is a lint error (``obs-coverage``): new telemetry must
+#: declare its shape before it ships.
+EVENT_SCHEMAS: dict[str, dict[str, Field]] = {
+    # one per parametric max-flow solve (flow/parametric.py)
+    "flow.solve": {
+        "alpha": Field("number"),
+        "mode": Field("str", choices=FLOW_MODES),
+        "tier": Field("str"),
+        "nodes": Field("int"),
+        "arcs": Field("int"),
+        "engine": Field("str", required=False),
+        "seconds": Field("number", required=False, nonneg=True),
+        "bfs_mode": Field("str", required=False),
+        "bfs_passes": Field("int", required=False, nonneg=True),
+        "augments": Field("int", required=False, nonneg=True),
+        "pushes": Field("int", required=False, nonneg=True),
+        "relabels": Field("int", required=False, nonneg=True),
+    },
+    # a cooperative budget expiring (guard/__init__.py)
+    "guard.deadline": {
+        "site": Field("str"),
+        "reason": Field("str"),
+        "elapsed_s": Field("number", nonneg=True),
+        "solves": Field("int", required=False, nonneg=True),
+        "rounds": Field("int", required=False, nonneg=True),
+    },
+    # a kernel demoted down its tier chain (accel/__init__.py)
+    "accel.failover": {
+        "kernel": Field("str"),
+        "from_tier": Field("str"),
+        "to_tier": Field("str"),
+        "error": Field("str"),
+    },
+    # one per CliqueIndex build (cliques/index.py)
+    "cliques.index": {
+        "h": Field("int"),
+        "n": Field("int", nonneg=True),
+        "m": Field("int", nonneg=True),
+        "incidence": Field("int", nonneg=True),
+        "kernel": Field("str"),
+        "seconds": Field("number", nonneg=True),
+    },
+    # one per induced-subgraph row selection (cliques/index.py)
+    "cliques.subindex": {
+        "h": Field("int"),
+        "n": Field("int", nonneg=True),
+        "m": Field("int", nonneg=True),
+        "parent_m": Field("int", nonneg=True),
+        "incidence": Field("int", nonneg=True),
+    },
+}
 
 
 def _check(cond: bool, errors: list, lineno: int, message: str) -> None:
     if not cond:
         errors.append(f"line {lineno}: {message}")
+
+
+def _check_field(
+    name: str, field: Field, value, errors: list, lineno: int, context: str
+) -> None:
+    if field.kind == "str":
+        _check(isinstance(value, str), errors, lineno, f"{context} {name} must be str")
+        if field.choices:
+            _check(
+                value in field.choices, errors, lineno,
+                f"{context} {name} must be one of {field.choices}",
+            )
+        return
+    if field.kind == "int":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:  # "number"
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    _check(ok, errors, lineno, f"{context} {name} must be a number")
+    if ok and field.nonneg:
+        _check(value >= 0, errors, lineno, f"{context} {name} must be >= 0")
+
+
+def _check_event_fields(name: str, fields: dict, errors: list, lineno: int) -> None:
+    schema = EVENT_SCHEMAS.get(name)
+    if schema is None:
+        # Unknown names are tolerated at trace-read time (old readers,
+        # new traces); the lint gate is what keeps the registry complete.
+        return
+    for fname, field in schema.items():
+        if fname not in fields:
+            _check(not field.required, errors, lineno, f"{name} missing {fname!r}")
+            continue
+        _check_field(fname, field, fields[fname], errors, lineno, name)
 
 
 def validate_records(lines: Iterable[str]) -> tuple[int, list[str]]:
@@ -101,7 +199,8 @@ def validate_records(lines: Iterable[str]) -> tuple[int, list[str]]:
                 errors, lineno, "span.attrs must be an object",
             )
         elif kind == "event":
-            _check(isinstance(rec.get("name"), str), errors, lineno, "event.name must be str")
+            name = rec.get("name")
+            _check(isinstance(name, str), errors, lineno, "event.name must be str")
             seq = rec.get("seq")
             _check(isinstance(seq, int) and seq >= 1, errors, lineno, "event.seq must be int >= 1")
             if isinstance(seq, int):
@@ -109,37 +208,8 @@ def validate_records(lines: Iterable[str]) -> tuple[int, list[str]]:
                 last_seq = max(last_seq, seq)
             fields = rec.get("fields")
             _check(isinstance(fields, dict), errors, lineno, "event.fields must be an object")
-            if rec.get("name") == "flow.solve" and isinstance(fields, dict):
-                for key in FLOW_SOLVE_KEYS:
-                    _check(key in fields, errors, lineno, f"flow.solve missing {key!r}")
-                _check(
-                    fields.get("mode") in FLOW_MODES, errors, lineno,
-                    f"flow.solve mode must be one of {FLOW_MODES}",
-                )
-                _check(
-                    isinstance(fields.get("alpha"), (int, float)), errors, lineno,
-                    "flow.solve alpha must be a number",
-                )
-            if rec.get("name") == "guard.deadline" and isinstance(fields, dict):
-                for key in GUARD_DEADLINE_KEYS:
-                    _check(key in fields, errors, lineno, f"guard.deadline missing {key!r}")
-                for key in ("site", "reason"):
-                    _check(
-                        isinstance(fields.get(key), str), errors, lineno,
-                        f"guard.deadline {key} must be str",
-                    )
-                elapsed = fields.get("elapsed_s")
-                _check(
-                    isinstance(elapsed, (int, float)) and elapsed >= 0, errors, lineno,
-                    "guard.deadline elapsed_s must be a number >= 0",
-                )
-            if rec.get("name") == "accel.failover" and isinstance(fields, dict):
-                for key in FAILOVER_KEYS:
-                    _check(key in fields, errors, lineno, f"accel.failover missing {key!r}")
-                    _check(
-                        isinstance(fields.get(key), str), errors, lineno,
-                        f"accel.failover {key} must be str",
-                    )
+            if isinstance(name, str) and isinstance(fields, dict):
+                _check_event_fields(name, fields, errors, lineno)
         elif kind == "summary":
             for key in SUMMARY_KEYS:
                 _check(key in rec, errors, lineno, f"summary missing {key!r}")

@@ -1,0 +1,9 @@
+"""Entry point missing its obs span (fixture; never imported)."""
+
+import guard
+
+
+def exact_densest(graph, h):  # expect[obs-coverage]  (no obs.span)
+    if guard.ACTIVE is not None:
+        guard.ACTIVE.tick_solve()
+    return graph, h

@@ -1,0 +1,12 @@
+"""Planted schema-drift emissions (fixture; never imported)."""
+
+from .. import obs
+
+KNOWN_EVENT = "local.known"
+
+
+def emit(payload, dynamic_name):
+    obs.event(obs.FLOW_SOLVE, payload)  # resolves via obs/__init__.py: clean
+    obs.event(KNOWN_EVENT, payload)  # resolves via module constant: clean
+    obs.event("ghost.event", payload)  # expect[obs-coverage]  (no schema)
+    obs.event(dynamic_name, payload)  # expect[obs-coverage]  (unresolvable)

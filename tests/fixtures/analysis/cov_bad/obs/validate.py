@@ -1,0 +1,6 @@
+"""Mini schema registry for the coverage fixtures (fixture)."""
+
+EVENT_SCHEMAS = {
+    "flow.solve": {},
+    "local.known": {},
+}

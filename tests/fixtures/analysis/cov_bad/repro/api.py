@@ -1,0 +1,12 @@
+"""Entry point missing its guard checkpoint (fixture; never imported)."""
+
+from . import obs
+
+
+def densest_subgraph(graph, h):  # expect[obs-coverage]  (no guard checkpoint)
+    with obs.span("api.densest_subgraph"):
+        return _solve(graph, h)
+
+
+def _solve(graph, h):
+    return graph, h

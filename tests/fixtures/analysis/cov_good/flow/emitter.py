@@ -1,0 +1,8 @@
+"""Every emitted event name resolves and has a schema (fixture)."""
+
+from .. import obs
+
+
+def emit(payload):
+    obs.event(obs.FLOW_SOLVE, payload)
+    obs.event("flow.solve", payload)

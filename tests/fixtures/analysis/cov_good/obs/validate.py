@@ -1,0 +1,5 @@
+"""Mini schema registry (fixture)."""
+
+EVENT_SCHEMAS = {
+    "flow.solve": {},
+}

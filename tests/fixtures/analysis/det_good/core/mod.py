@@ -1,0 +1,17 @@
+"""Deterministic counterparts of the planted hazards (fixture)."""
+
+import random
+
+import numpy as np
+
+
+def tie_break(nodes, score):
+    best = None
+    for v in sorted(set(nodes)):  # sorted() restores a total order
+        if best is None or score[v] > score[best]:
+            best = v
+    seed = min(frozenset(nodes))  # explicit extremum, not iteration order
+    rng = np.random.default_rng(1729)  # seeded generator construction
+    local = random.Random(7)  # seeded instance, not the global RNG
+    flags = 0b1010 | 0b0101  # int bitops are not set unions
+    return best, seed, rng, local, flags

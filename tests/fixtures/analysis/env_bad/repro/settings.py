@@ -1,0 +1,12 @@
+"""Planted direct environment reads (fixture; never imported)."""
+
+import os
+
+from os import getenv  # expect[env-discipline]  (from-import of getenv)
+
+TRACE = os.environ.get("REPRO_TRACE", "")  # expect[env-discipline]
+CHECK = os.getenv("REPRO_CHECK")  # expect[env-discipline]
+
+
+def no_numba():
+    return bool(os.environ.get("REPRO_NO_NUMBA"))  # expect[env-discipline]

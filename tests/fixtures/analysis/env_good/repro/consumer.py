@@ -1,0 +1,7 @@
+"""Reads knobs through the registry, not os.environ (fixture)."""
+
+from . import env
+
+
+def trace_destination():
+    return env.raw("REPRO_TRACE")

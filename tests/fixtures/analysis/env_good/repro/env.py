@@ -1,0 +1,7 @@
+"""The one module allowed to touch os.environ (fixture)."""
+
+import os
+
+
+def raw(name):
+    return os.environ.get(name)

@@ -1,0 +1,29 @@
+"""Planted jit-safety violations (fixture; never imported)."""
+
+import numpy as np
+
+EPS = 1e-6  # expect[jit-safety]  (drifted from flow/network.py's 1e-9)
+
+KERNEL_NAMES = (  # expect[jit-safety]  (lists undefined ghost_kernel)
+    "bad_kernel",
+    "ghost_kernel",
+)
+
+
+def bad_kernel(cap, deg):
+    def helper(x):  # expect[jit-safety]  (closure)
+        return x + 1
+
+    table = {i: cap[i] for i in range(3)}  # expect[jit-safety]  (dict comprehension)
+    pairs = {"a": 1}  # expect[jit-safety]  (dict literal + string constant)
+    total = 0.0
+    for i in range(cap.shape[0]):
+        total += cap[i]
+    try:  # expect[jit-safety]  (try/except)
+        total += deg[0]
+    except IndexError:
+        pass
+    out = np.argsort(cap)  # expect[jit-safety]  (np call outside whitelist)
+    total += MAGIC  # expect[jit-safety]  (module-global read)
+    label = "done"  # expect[jit-safety]  (string constant)
+    return total

@@ -1,0 +1,3 @@
+"""Canonical EPS the kernel copy must match (fixture)."""
+
+EPS = 1e-9

@@ -1,0 +1,20 @@
+"""A minimal kernel inside the nopython whitelist (fixture)."""
+
+import numpy as np
+
+EPS = 1e-9
+
+KERNEL_NAMES = ("good_kernel",)
+
+
+def good_kernel(cap, adj_start):
+    """Docstrings are stripped before compilation and stay legal."""
+    n = adj_start.shape[0] - 1
+    out = np.zeros(n, np.float64)
+    total = 0.0
+    for i in range(n):
+        if cap[i] > EPS:
+            out[i] = cap[i]
+            total += cap[i]
+    scratch = out.copy()
+    return total, scratch

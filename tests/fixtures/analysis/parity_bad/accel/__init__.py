@@ -1,0 +1,16 @@
+"""Planted tier-parity chain violations (fixture; never imported)."""
+
+KERNEL_NAMES = ("dinic", "bucket_peel")
+
+
+def _build_registry():
+    chains = {  # expect[tier-parity]  (bucket_peel has no chain)
+        "dinic": [  # expect[tier-parity]  (no terminal python tier)
+            ("numba", None, False),
+            ("numpy", None, False),
+        ],
+        "mystery": [  # expect[tier-parity]  (not in KERNEL_NAMES)
+            ("python", None, True),
+        ],
+    }
+    return chains

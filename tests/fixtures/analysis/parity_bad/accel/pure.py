@@ -1,0 +1,5 @@
+"""Pure tier with a planted positional-signature drift (fixture)."""
+
+
+def dinic(heads, cap):  # expect[tier-parity]  (swapped positional order)
+    return cap[0] + heads[0]

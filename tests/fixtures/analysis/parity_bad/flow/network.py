@@ -1,0 +1,3 @@
+"""Canonical EPS so the jit rule stays quiet here (fixture)."""
+
+EPS = 1e-9

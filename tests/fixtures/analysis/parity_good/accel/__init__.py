@@ -1,0 +1,14 @@
+"""A registry satisfying the tier-parity contract (fixture)."""
+
+KERNEL_NAMES = ("dinic",)
+
+
+def _build_registry():
+    chains = {
+        "dinic": [
+            ("numba", None, False),
+            ("numpy", None, False),
+            ("python", None, True),
+        ],
+    }
+    return chains

@@ -1,0 +1,9 @@
+"""Reference tier (fixture)."""
+
+KERNEL_NAMES = ("dinic",)
+
+EPS = 1e-9
+
+
+def dinic(cap, heads):
+    return cap[0] + heads[0]

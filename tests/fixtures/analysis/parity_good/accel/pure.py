@@ -1,0 +1,5 @@
+"""Pure tier; trailing defaulted extras are allowed (fixture)."""
+
+
+def dinic(cap, heads, levels_fn=None):
+    return cap[0] + heads[0]

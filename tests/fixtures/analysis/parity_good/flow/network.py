@@ -1,0 +1,3 @@
+"""Canonical EPS (fixture)."""
+
+EPS = 1e-9

@@ -9,7 +9,7 @@ from repro.core.clique_core import (
     kmax_clique_core,
 )
 from repro.core.kcore import core_decomposition
-from repro.graph.graph import Graph, complete_graph
+from repro.graph.graph import Graph
 
 from .conftest import random_graph
 

@@ -23,6 +23,7 @@ MODULES = [
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_doctests(module):
-    failures, tests = doctest.testmod(module, verbose=False).failed, doctest.testmod(module).attempted
+    result = doctest.testmod(module, verbose=False)
+    failures, tests = result.failed, doctest.testmod(module).attempted
     assert failures == 0
     assert tests > 0  # every listed module must actually carry examples

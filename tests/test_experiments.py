@@ -5,8 +5,6 @@ with the expected columns; density/agreement assertions inside the
 modules double as correctness checks on realistic surrogate graphs.
 """
 
-import pytest
-
 from repro.experiments import (
     fig8,
     fig9,

@@ -4,9 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.flow import dinic, push_relabel
-from repro.flow.network import EPS, FlowNetwork
-
-from .conftest import random_graph
+from repro.flow.network import FlowNetwork
 
 
 def build_classic() -> FlowNetwork:

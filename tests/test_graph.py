@@ -213,7 +213,10 @@ class TestFactories:
     def test_path_graph_single(self):
         assert path_graph(1).num_vertices == 1
 
-    @pytest.mark.parametrize("factory,bad", [(complete_graph, 0), (cycle_graph, 2), (star_graph, 0), (path_graph, 0)])
+    @pytest.mark.parametrize(
+        "factory,bad",
+        [(complete_graph, 0), (cycle_graph, 2), (star_graph, 0), (path_graph, 0)],
+    )
     def test_factory_validation(self, factory, bad):
         with pytest.raises(ValueError):
             factory(bad)

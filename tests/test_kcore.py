@@ -4,7 +4,7 @@ import networkx as nx
 import pytest
 
 from repro.core.kcore import core_decomposition, degeneracy, k_core, max_core
-from repro.graph.graph import Graph, complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph, complete_graph, path_graph
 
 from .conftest import random_graph, to_networkx
 
