@@ -1,0 +1,283 @@
+"""Parallel scaling: the shared-memory fan-out of :mod:`repro.par`.
+
+PR 9 added the parallel execution layer: Exact/CoreExact dispatch
+independent component subproblems to a forked worker pool, and the
+clique-index build chunks its wedge-expansion kernels over vertex
+ranges.  The load-bearing contract is **bit-identity** -- parallel
+results equal serial results exactly -- so this bench asserts it on
+every cell while measuring what the fan-out buys.
+
+Cells come in three flavours:
+
+* the Figure-8 small-dataset suite (Exact + CoreExact), where the
+  number of surviving components is the data's business -- cells where
+  pruning leaves one component record ``fanout: false`` and simply
+  pin the serial-fallback identity;
+* synthetic *clone* graphs (label-shifted copies of one random blob),
+  whose identical clique-core numbers guarantee every component
+  survives CoreExact's locate-core pruning -- the guaranteed-fan-out
+  cells the scaling claim is measured on;
+* the chunked clique-index build (h = 3, 4) on the largest small
+  datasets, byte-comparing the canonical instance rows.
+
+Wall times for workers in {1, 2, 4} land in the machine-readable
+``benchmarks/out/BENCH_par.json`` (same env-fingerprint header as
+``BENCH_flow.json``).  The headline -- >= 2x end-to-end speedup with 4
+workers on at least one guaranteed-fan-out cell -- is only asserted
+when the host exposes >= 4 CPUs; on smaller hosts the JSON carries an
+explicit skip record so a 1-core container's artifact is never read as
+"the speedup passed".
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro import par
+from repro.cliques.index import CliqueIndex
+from repro.core.core_exact import core_exact_densest
+from repro.core.exact import exact_densest
+from repro.datasets.registry import dataset_names, load
+from repro.experiments.harness import env_fingerprint
+from repro.graph.graph import Graph
+
+OUT_DIR = Path(__file__).parent / "out"
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Required end-to-end speedup at 4 workers on at least one eligible
+#: guaranteed-fan-out cell (the PR's headline acceptance criterion).
+PAR_MIN_SPEEDUP = 2.0
+
+#: CPUs the host must expose for the speedup claim to be assertable at
+#: all; below it the bench records an explicit skip instead.
+PAR_ASSERT_MIN_CPUS = 4
+
+#: Serial wall-clock floor for a cell to count toward the speedup
+#: claim; faster cells are dominated by dispatch overhead and timing
+#: noise, not component work.
+PAR_ASSERT_MIN_SECONDS = 0.05
+
+#: Synthetic guaranteed-fan-out cells: ``copies`` label-shifted copies
+#: of one Gnp blob (identical clique-cores, so CoreExact keeps every
+#: component), per (name, copies, n, p, h).
+CLONE_CELLS = (
+    ("clones-4x300-h2", 4, 300, 0.15, 2),
+    ("clones-4x110-h3", 4, 110, 0.20, 3),
+)
+
+
+def _clone_graph(seed: int, copies: int, n: int, p: float) -> Graph:
+    rng = random.Random(seed)
+    edges = [
+        (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
+    ]
+    g = Graph()
+    for c in range(copies):
+        base = c * n
+        for v in range(base, base + n):
+            g.add_vertex(v)
+        for i, j in edges:
+            g.add_edge(base + i, base + j)
+    return g
+
+
+def _best_timed(fn, *args, reps=2, **kwargs):
+    result, best = None, float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _solver_cell(name, graph, algorithm, fn, h, guaranteed_fanout):
+    serial, serial_s = _best_timed(fn, graph, h, workers=1)
+    row = {
+        "dataset": name,
+        "algorithm": algorithm,
+        "h": h,
+        "density": serial.density,
+        "guaranteed_fanout": guaranteed_fanout,
+        "serial_s": serial_s,
+    }
+    fanout = False
+    for workers in WORKER_COUNTS[1:]:
+        par.LAST_BATCH.clear()
+        # reps=3: the first rep pays the pool fork, best-of absorbs it
+        parallel, seconds = _best_timed(fn, graph, h, workers=workers, reps=3)
+        # the contract the whole layer stands on: bit-identical results
+        assert parallel.vertices == serial.vertices, (name, algorithm, h, workers)
+        assert parallel.density == serial.density, (name, algorithm, h, workers)
+        row[f"w{workers}_s"] = seconds
+        row[f"speedup_w{workers}"] = serial_s / seconds if seconds > 0 else float("inf")
+        if par.LAST_BATCH.get("surface", "").endswith(".components"):
+            fanout = True
+            row["components"] = par.LAST_BATCH.get("tasks")
+    row["fanout"] = fanout
+    if guaranteed_fanout:
+        assert fanout, (name, algorithm, h, "clone cell never fanned out")
+    return row
+
+
+def _clique_cells(bench_scale):
+    """Chunked clique enumeration: byte-identical rows, 1/2/4 workers."""
+    rows = []
+    floor = par.PAR_MIN_EDGES
+    try:
+        # surrogate cells at smoke scale sit under the production floor;
+        # the bench measures the chunked path, so lower it (restored in
+        # the finally) exactly like the BFS probe forces its thresholds
+        par.PAR_MIN_EDGES = 1
+        for name in dataset_names("small")[-2:]:
+            graph = load(name, bench_scale)
+            for h in (3, 4):
+                serial, serial_s = _best_timed(CliqueIndex, graph, h, workers=1)
+                if serial.m == 0:
+                    continue
+                row = {
+                    "dataset": name,
+                    "h": h,
+                    "instances": serial.m,
+                    "serial_s": serial_s,
+                }
+                for workers in WORKER_COUNTS[1:]:
+                    chunked, seconds = _best_timed(
+                        CliqueIndex, graph, h, workers=workers, reps=3
+                    )
+                    assert chunked.inst == serial.inst, (name, h, workers)
+                    row[f"w{workers}_s"] = seconds
+                    row[f"speedup_w{workers}"] = (
+                        serial_s / seconds if seconds > 0 else float("inf")
+                    )
+                rows.append(row)
+    finally:
+        par.PAR_MIN_EDGES = floor
+    return rows
+
+
+def test_par_scaling(benchmark, emit, bench_scale):
+    try:
+        rows = []
+        for name in dataset_names("small"):
+            graph = load(name, bench_scale)
+            for algorithm, fn, h_values in (
+                ("CoreExact", core_exact_densest, (2, 3)),
+                ("Exact", exact_densest, (2,)),
+            ):
+                for h in h_values:
+                    rows.append(
+                        _solver_cell(name, graph, algorithm, fn, h, False)
+                    )
+        for name, copies, n, p, h in CLONE_CELLS:
+            graph = _clone_graph(97, copies, n, p)
+            rows.append(
+                _solver_cell(name, graph, "CoreExact", core_exact_densest, h, True)
+            )
+            if h == 2:
+                rows.append(
+                    _solver_cell(name, graph, "Exact", exact_densest, h, True)
+                )
+        clique_rows = _clique_cells(bench_scale)
+
+        # --- the headline claim, or an explicit skip record ----------
+        cpus = os.cpu_count() or 1
+        eligible = [
+            r
+            for r in rows
+            if r["fanout"]
+            and r["guaranteed_fanout"]
+            and r["serial_s"] >= PAR_ASSERT_MIN_SECONDS
+        ]
+        best = max((r.get("speedup_w4", 0.0) for r in eligible), default=0.0)
+        if cpus >= PAR_ASSERT_MIN_CPUS:
+            par_assert = {
+                "asserted": True,
+                "min_speedup": PAR_MIN_SPEEDUP,
+                "cpu_count": cpus,
+                "eligible_cells": len(eligible),
+                "best_speedup_w4": best,
+            }
+        else:
+            # a 1-core container cannot speed up by running 4 forks in
+            # timeshare; record the skip so the JSON is never misread
+            par_assert = {
+                "asserted": False,
+                "min_speedup": PAR_MIN_SPEEDUP,
+                "cpu_count": cpus,
+                "eligible_cells": len(eligible),
+                "best_speedup_w4": best,
+                "skip_reason": (
+                    f"host exposes {cpus} CPU(s) < {PAR_ASSERT_MIN_CPUS}; "
+                    "4-worker speedup is not measurable here "
+                    "(bit-identity still asserted on every cell)"
+                ),
+            }
+
+        fanned = [r for r in rows if r["fanout"]]
+        aggregates = {
+            "cells": len(rows),
+            "fanout_cells": len(fanned),
+            "serial_s": sum(r["serial_s"] for r in rows),
+            "w2_s": sum(r["w2_s"] for r in rows),
+            "w4_s": sum(r["w4_s"] for r in rows),
+        }
+
+        emit(
+            "bench_par_scaling",
+            [
+                {
+                    k: r.get(k, "-")
+                    for k in (
+                        "dataset", "algorithm", "h", "fanout", "components",
+                        "serial_s", "w2_s", "w4_s", "speedup_w2", "speedup_w4",
+                    )
+                }
+                for r in rows
+            ],
+            f"Parallel component fan-out scaling ({cpus} CPU(s); workers 1/2/4; "
+            "results bit-identical to serial on every cell"
+            + (
+                ""
+                if par_assert["asserted"]
+                else f"; >= {PAR_MIN_SPEEDUP:g}x @ 4 workers assert SKIPPED"
+            )
+            + ")",
+        )
+
+        OUT_DIR.mkdir(exist_ok=True)
+        payload = {
+            "bench_scale": bench_scale,
+            "env": env_fingerprint(),
+            "cpu_count": cpus,
+            "worker_counts": list(WORKER_COUNTS),
+            "par_speedup_assert": par_assert,
+            "solver_cells": rows,
+            "clique_cells": clique_rows,
+            "aggregates": aggregates,
+            "results_identical": True,  # asserted per cell above
+        }
+        (OUT_DIR / "BENCH_par.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+        if par_assert["asserted"]:
+            assert eligible, (
+                "no guaranteed-fan-out cell slow enough to assert the speedup"
+            )
+            assert best >= PAR_MIN_SPEEDUP, [
+                (r["dataset"], r["h"], r["speedup_w4"]) for r in eligible
+            ]
+        else:
+            print(
+                f"\n[par >= {PAR_MIN_SPEEDUP:g}x @ 4 workers assert SKIPPED: "
+                f"{par_assert['skip_reason']}]"
+            )
+
+        graph = _clone_graph(97, *CLONE_CELLS[0][1:4])
+        result = benchmark(core_exact_densest, graph, 2, workers=2)
+        assert result.density > 0.0
+    finally:
+        par.shutdown()

@@ -1,0 +1,149 @@
+"""``par-safety``: what fork-based fan-out cannot survive.
+
+The parallel layer (:mod:`repro.par`) promises results bit-identical to
+serial execution.  That promise rests on three syntactic disciplines,
+each enforced here because breaking them fails silently (a lambda
+pickles on fork-start but not by name; a mutated module global diverges
+between parent and workers; an unregistered env read bypasses the typed
+registry a worker was configured through):
+
+* **importable pool entries** -- every function handed to
+  ``map_components`` must be importable by name in the worker process:
+  lambdas and functions defined inside another function are flagged at
+  the call site (the runtime check in :func:`repro.par._importable`
+  raises too, but only once a pool actually spins up).
+* **no stray module globals** -- inside ``repro/par/`` modules, a
+  ``global`` statement (module-state rebinding) is allowed only in
+  functions named by that module's ``WORKER_INIT_FUNCS`` constant --
+  the registered worker-initialisation path that deliberately rewires
+  per-process state.  Everything else must mutate shared structures in
+  place or pass state explicitly.
+* **env reads through the registry** -- ``os.environ`` / ``os.getenv``
+  inside ``repro/par/`` duplicates the project-wide ``env-discipline``
+  rule with a par-specific message: a worker's behaviour must be a
+  function of the typed :mod:`repro.env` registry its parent resolved,
+  never of an ad-hoc environment probe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    call_name,
+    module_constants,
+    rule,
+)
+
+#: Directory name whose files are the parallel layer.
+PAR_DIR = "par"
+
+_LAMBDA_MSG = (
+    "map_components is handed a lambda; worker processes import pool "
+    "entries by name -- define a module-level function instead"
+)
+_NESTED_MSG = (
+    "map_components is handed a nested function; worker processes "
+    "import pool entries by name -- move it to module level"
+)
+_GLOBAL_MSG = (
+    "'global' outside the registered worker-init path; par modules may "
+    "rebind module state only inside functions named in WORKER_INIT_FUNCS"
+)
+_ENV_MSG = (
+    "direct environment access in the parallel layer; a worker's "
+    "behaviour must come from the typed repro.env registry its parent "
+    "resolved"
+)
+
+
+def in_par_scope(source: SourceFile) -> bool:
+    return PAR_DIR in source.path.parts[:-1]
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _global_findings(source: SourceFile, rule_id: str) -> Iterator[Finding]:
+    allowed = module_constants(source.tree).get("WORKER_INIT_FUNCS", ())
+    if not isinstance(allowed, (tuple, list)):
+        allowed = ()
+
+    def walk(node: ast.AST, func_name: str | None) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Global) and func_name not in allowed:
+                yield Finding(
+                    source.rel, child.lineno, child.col_offset, rule_id, _GLOBAL_MSG
+                )
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from walk(child, child.name)
+            else:
+                yield from walk(child, func_name)
+
+    yield from walk(source.tree, None)
+
+
+@rule
+class ParSafety(Rule):
+    id = "par-safety"
+    doc = (
+        "pool entries are module-level importable, par modules rebind "
+        "globals only in the worker-init path, and read env through the "
+        "registry"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project:
+            if source.tree is None:
+                continue
+            # (a) importable pool entries -- project-wide
+            nested = _nested_function_names(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not call_name(node.func).split(".")[-1] == "map_components":
+                    continue
+                if not node.args:
+                    continue
+                fn_arg = node.args[0]
+                if isinstance(fn_arg, ast.Lambda):
+                    yield Finding(
+                        source.rel, fn_arg.lineno, fn_arg.col_offset,
+                        self.id, _LAMBDA_MSG,
+                    )
+                elif isinstance(fn_arg, ast.Name) and fn_arg.id in nested:
+                    yield Finding(
+                        source.rel, fn_arg.lineno, fn_arg.col_offset,
+                        self.id, _NESTED_MSG,
+                    )
+            if not in_par_scope(source):
+                continue
+            # (b) globals only in the registered worker-init path
+            yield from _global_findings(source, self.id)
+            # (c) env reads through the registry
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in ("environ", "getenv")
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                ):
+                    yield Finding(
+                        source.rel, node.lineno, node.col_offset, self.id, _ENV_MSG
+                    )

@@ -141,6 +141,210 @@ def _subgraph_density(graph: Graph, vertices: set[Vertex], h: int, index=None) -
     return CliqueIndex(sub, h).m / sub.num_vertices
 
 
+def _core_shrink(state: _ComponentState, level: float, core_of: dict) -> _ComponentState:
+    """Intersect the component with the (⌈level⌉, Ψ)-core (Lemma 7)."""
+    need = math.ceil(level)
+    keep = {v for v in state.graph if core_of.get(v, 0) >= need}
+    if len(keep) < state.num_vertices:
+        state = state.shrink(keep)
+    return state
+
+
+def _ggt_newton_walk(state: _ComponentState, low: float, core_of: dict):
+    """Discrete-Newton breakpoint walk with mid-search core shrinks.
+
+    The per-component half of :meth:`ParametricNetwork.max_density`,
+    lifted here so that every time the walk raises α past the next
+    integer, the component is re-intersected with the (⌈α⌉, Ψ)-core
+    (exactly the shrink the binary search performs on line 16) and the
+    remaining hops run on a smaller network.  Sound for the same reason
+    (Lemma 7): each iterate α is the exact density of a real subgraph,
+    hence a valid lower bound, and any denser subgraph has all its
+    clique-core numbers >= ⌈α⌉.  Returns ``(cut, ρ, solves, sizes)``.
+    """
+    best: Optional[set[Vertex]] = None
+    best_rho = low
+    alpha = low
+    solves = 0
+    sizes: list[int] = []
+    while True:
+        try:
+            cut = state.solve(alpha)
+        except guard.BudgetExceeded as exc:
+            # the walk's incumbent is this component's best cut so far
+            # -- the densest pruned-core answer available
+            exc.attach_incumbent(best, best_rho)
+            raise
+        solves += 1
+        sizes.append(state.network_nodes)
+        if not cut:
+            break
+        rho = state.density_of(cut)
+        if best is None or rho > best_rho:
+            best, best_rho = cut, rho
+        if rho <= alpha:
+            break  # float-exact optimum: the cut re-certifies itself
+        if math.ceil(rho) > math.ceil(alpha):
+            state = _core_shrink(state, rho, core_of)
+            if state.num_vertices == 0:
+                break
+        alpha = rho
+    return best, best_rho, solves, sizes
+
+
+def solve_component_state(
+    state: _ComponentState,
+    *,
+    low: float,
+    kmax: int,
+    k_locate: int,
+    core_of: dict,
+    pruning3: bool,
+    n: int,
+) -> dict:
+    """One component of the CoreExact search, started at lower bound ``low``.
+
+    The extracted body of the serial component loop, shared verbatim by
+    the parent process and the parallel workers
+    (:func:`repro.par.worker.solve_component`).  ``core_of`` maps
+    vertex label to clique-core number (the mid-search shrinks read
+    it); ``n`` is the whole graph's vertex count (the pruning3-off
+    binary resolution).
+
+    Returns ``{"cut", "rho", "solves", "network_sizes", "final_low"}``:
+    ``cut`` is None when the search at ``low`` is infeasible, ``rho``
+    the cut's exact density, and ``final_low`` the lower bound the
+    serial loop carries to the next component.  On budget expiry a
+    :class:`~repro.guard.BudgetExceeded` escapes with the component
+    incumbent attached.
+    """
+    # cuts found after shrinks are still subsets of this state's graph,
+    # so it can price any of them (bit-identical to the call-level index:
+    # both count exactly the instances inside the cut)
+    origin = state
+    sizes: list[int] = []
+    # The upper bound must be per-component: infeasibility inside one
+    # component says nothing about another, while kmax bounds every
+    # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
+    # across components; resetting it is the sound reading.)
+    high = float(kmax)
+    # line 6: if the global lower bound outgrew this core level,
+    # intersect the component with the (⌈l⌉, Ψ)-core.
+    if low > k_locate:
+        state = _core_shrink(state, low, core_of)
+    if state.num_vertices == 0:
+        return {"cut": None, "rho": 0.0, "solves": 0, "network_sizes": sizes,
+                "final_low": low}
+
+    if state.flow_engine == "ggt":
+        # One parametric sweep replaces probe + binary search: the
+        # Newton walk starts at the lower bound l (solving at l IS the
+        # feasibility probe) and ends at the component's exact optimal
+        # density, raising l for later components.
+        cut, rho, solves, sizes = _ggt_newton_walk(state, low, core_of)
+        if cut is None:
+            return {"cut": None, "rho": 0.0, "solves": solves,
+                    "network_sizes": sizes, "final_low": low}
+        return {"cut": cut, "rho": rho, "solves": solves,
+                "network_sizes": sizes, "final_low": rho if rho > low else low}
+
+    # lines 7-9: feasibility probe at α = l.
+    probe = state.solve(low)
+    sizes.append(state.network_nodes)
+    solves = 1
+    if not probe:
+        return {"cut": None, "rho": 0.0, "solves": solves,
+                "network_sizes": sizes, "final_low": low}
+    candidate_local = probe
+    state.checkpoint()  # all later guesses exceed l: warm-start base
+
+    # lines 10-19: binary search within the component.
+    try:
+        while True:
+            nc = state.num_vertices
+            resolution = (
+                1.0 / (nc * (nc - 1))
+                if pruning3 and nc > 1
+                else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
+            )
+            if high - low < resolution:
+                break
+            alpha = (low + high) / 2.0
+            cut_vertices = state.solve(alpha)
+            sizes.append(state.network_nodes)
+            solves += 1
+            if not cut_vertices:
+                high = alpha
+            else:
+                if alpha > math.ceil(low):
+                    state = _core_shrink(state, alpha, core_of)
+                low = alpha
+                candidate_local = cut_vertices
+                state.checkpoint()
+    except guard.BudgetExceeded as exc:
+        # the search's last feasible cut is this component's incumbent
+        exc.attach_incumbent(candidate_local, origin.density_of(candidate_local))
+        raise
+
+    return {"cut": candidate_local, "rho": origin.density_of(candidate_local),
+            "solves": solves, "network_sizes": sizes, "final_low": low}
+
+
+def _component_payloads(
+    states: list[_ComponentState],
+    *,
+    h: int,
+    flow_engine: str,
+    low: float,
+    kmax: int,
+    k_locate: int,
+    core_of: dict,
+    pruning3: bool,
+    n: int,
+) -> tuple[list[dict], dict]:
+    """(payloads, shared arrays) for the worker-side component rebuilds.
+
+    Labels travel in the payload in graph-iteration order (the worker
+    re-inserts them in that order, so its internal id space matches the
+    parent's); edges, clique rows and core numbers travel as flat int64
+    arrays through the shared-memory arena.
+    """
+    from ..cliques import kernels
+
+    np = kernels.np
+    shared: dict = {}
+    payloads: list[dict] = []
+    for cid, state in enumerate(states):
+        labels = list(state.graph)
+        id_of = {v: i for i, v in enumerate(labels)}
+        esrc: list[int] = []
+        edst: list[int] = []
+        for u in state.graph:
+            iu = id_of[u]
+            for v in state.graph.neighbors(u):
+                iv = id_of[v]
+                if iu < iv:
+                    esrc.append(iu)
+                    edst.append(iv)
+        fields: dict = {
+            f"c{cid}.esrc": esrc,
+            f"c{cid}.edst": edst,
+            f"c{cid}.core": [core_of.get(v, 0) for v in labels],
+        }
+        if state.index is not None:
+            fields[f"c{cid}.rows"] = state.index.inst
+        for key, val in fields.items():
+            shared[key] = np.asarray(val, dtype=np.int64) if np is not None else list(val)
+        payloads.append(
+            {
+                "cid": cid, "labels": labels, "h": h, "flow_engine": flow_engine,
+                "low": low, "kmax": kmax, "k_locate": k_locate,
+                "pruning3": pruning3, "n": n,
+            }
+        )
+    return payloads, shared
+
+
 def core_exact_densest(
     graph: Graph,
     h: int = 2,
@@ -151,6 +355,7 @@ def core_exact_densest(
     decomposition: Optional[CliqueCoreResult] = None,
     flow_engine: str = "ggt",
     index: Optional[CliqueIndex] = None,
+    workers: Optional[int] = None,
 ) -> DensestSubgraphResult:
     """CoreExact: exact CDS with core-based pruning.
 
@@ -289,131 +494,92 @@ def core_exact_densest(
                 found = density_cache[key] = _subgraph_density(graph, vertices, h, index)
             return found
 
-        def core_shrink(state: _ComponentState, level: float) -> _ComponentState:
-            """Intersect the component with the (⌈level⌉, Ψ)-core (Lemma 7)."""
-            need = math.ceil(level)
-            keep = {v for v in state.graph if decomposition.core.get(v, 0) >= need}
-            if len(keep) < state.num_vertices:
-                state = state.shrink(keep)
-            return state
+        def merge_component(cut: Optional[set[Vertex]], rho: float) -> None:
+            """Fold one component's answer into the running candidate."""
+            nonlocal candidate
+            if not cut:
+                return
+            density_cache.setdefault(frozenset(cut), rho)
+            if candidate is None or cached_density(cut) > cached_density(candidate):
+                candidate = cut
 
-        def ggt_newton_walk(state: _ComponentState, low: float):
-            """Discrete-Newton breakpoint walk with mid-search core shrinks.
+        ordered = sorted(comp_states, key=lambda s: -s.num_vertices)
+        par_workers = 1
+        if len(ordered) > 1:
+            from .. import par
 
-            The per-component half of :meth:`ParametricNetwork.max_density`,
-            lifted here so that every time the walk raises α past the next
-            integer, the component is re-intersected with the (⌈α⌉, Ψ)-core
-            (exactly the shrink the binary search performs on line 16) and
-            the remaining hops run on a smaller network.  Sound for the
-            same reason (Lemma 7): each iterate α is the exact density of a
-            real subgraph, hence a valid lower bound, and any denser
-            subgraph has all its clique-core numbers >= ⌈α⌉.  Returns
-            ``(cut, ρ, solves, state)``.
-            """
-            best: Optional[set[Vertex]] = None
-            best_rho = low
-            alpha = low
-            solves = 0
-            while True:
-                try:
-                    cut = state.solve(alpha)
-                except guard.BudgetExceeded as exc:
-                    # the walk's incumbent is this component's best cut
-                    # so far -- the densest pruned-core answer available
-                    exc.attach_incumbent(best, best_rho)
-                    raise
-                solves += 1
-                network_sizes.append(state.network_nodes)
-                if not cut:
-                    break
-                rho = state.density_of(cut)
-                if best is None or rho > best_rho:
-                    best, best_rho = cut, rho
-                if rho <= alpha:
-                    break  # float-exact optimum: the cut re-certifies itself
-                if math.ceil(rho) > math.ceil(alpha):
-                    state = core_shrink(state, rho)
-                    if state.num_vertices == 0:
-                        break
-                alpha = rho
-            return best, best_rho, solves, state
-
-        def component_loop(states: list[_ComponentState]) -> None:
-            nonlocal iterations, low, candidate
-            for state in states:
-                # The upper bound must be per-component: infeasibility inside one
-                # component says nothing about another, while kmax bounds every
-                # subgraph's density (Lemma 5).  (The paper's pseudocode shares u
-                # across components; resetting it is the sound reading.)
-                high = float(kmax)
-                # line 6: if the global lower bound outgrew this core level,
-                # intersect the component with the (⌈l⌉, Ψ)-core.
-                if low > k_locate:
-                    state = core_shrink(state, low)
-                if state.num_vertices == 0:
-                    continue
-
-                if flow_engine == "ggt":
-                    # One parametric sweep replaces probe + binary search: the
-                    # Newton walk starts at the global lower bound l (solving at
-                    # l IS the feasibility probe) and ends at the component's
-                    # exact optimal density, raising l for later components.
-                    cut, rho, solves, state = ggt_newton_walk(state, low)
-                    iterations += solves
-                    if not cut:
-                        continue
-                    density_cache.setdefault(frozenset(cut), rho)
-                    if rho > low:
-                        low = rho
-                    if candidate is None or cached_density(cut) > cached_density(candidate):
-                        candidate = cut
-                    continue
-
-                # lines 7-9: feasibility probe at α = l.
-                probe = state.solve(low)
-                network_sizes.append(state.network_nodes)
-                iterations += 1
-                if not probe:
-                    continue
-                candidate_local = probe
-                state.checkpoint()  # all later guesses exceed l: warm-start base
-
-                # lines 10-19: binary search within the component.
-                try:
-                    while True:
-                        nc = state.num_vertices
-                        resolution = (
-                            1.0 / (nc * (nc - 1))
-                            if pruning3 and nc > 1
-                            else (1.0 / (n * (n - 1)) if n > 1 else 0.5)
-                        )
-                        if high - low < resolution:
-                            break
-                        alpha = (low + high) / 2.0
-                        cut_vertices = state.solve(alpha)
-                        network_sizes.append(state.network_nodes)
-                        iterations += 1
-                        if not cut_vertices:
-                            high = alpha
-                        else:
-                            if alpha > math.ceil(low):
-                                state = core_shrink(state, alpha)
-                            low = alpha
-                            candidate_local = cut_vertices
-                            state.checkpoint()
-                except guard.BudgetExceeded as exc:
-                    # the search's last feasible cut is this component's
-                    # incumbent
-                    exc.attach_incumbent(candidate_local, cached_density(candidate_local))
-                    raise
-
-                if candidate_local:
-                    if (candidate is None
-                            or cached_density(candidate_local) > cached_density(candidate)):
-                        candidate = candidate_local
+            par_workers = par.resolve_workers(workers)
 
         try:
-            component_loop(sorted(comp_states, key=lambda s: -s.num_vertices))
+            if par_workers > 1:
+                # Fan the components out.  Every worker starts from the
+                # pre-loop lower bound instead of the serially raised one
+                # -- merely a less aggressive shrink (Lemma 7), same
+                # answers -- and the merge below replays the serial
+                # loop's decisions in the serial order, so the result is
+                # bit-identical (see docs/par.md for the argument).
+                from .. import par
+                from ..par import worker as par_worker
+
+                payloads, shared = _component_payloads(
+                    ordered, h=h, flow_engine=flow_engine, low=low, kmax=kmax,
+                    k_locate=k_locate, core_of=decomposition.core,
+                    pruning3=pruning3, n=n,
+                )
+                outcomes = par.map_components(
+                    par_worker.solve_component, payloads, workers=par_workers,
+                    shared=shared, surface="core_exact.components",
+                )
+                expiry: Optional[tuple[str, str]] = None
+                exc_cut: Optional[set[Vertex]] = None
+                exc_rho = 0.0
+                for outcome in outcomes:
+                    if outcome["status"] != "ok":
+                        # a worker's budget expired mid-component: note the
+                        # first expiry site and keep the densest incumbent
+                        info = outcome.get("degraded") or {}
+                        if expiry is None:
+                            expiry = (
+                                info.get("site") or "core_exact.flow",
+                                info.get("reason") or "worker budget expired",
+                            )
+                        inc = info.get("incumbent")
+                        rho_inc = info.get("density") or 0.0
+                        if inc and (exc_cut is None or rho_inc > exc_rho):
+                            exc_cut, exc_rho = set(inc), rho_inc
+                        continue
+                    out = outcome["result"]
+                    iterations += out["solves"]
+                    network_sizes.extend(out["network_sizes"])
+                    if out["cut"] is None:
+                        continue
+                    rho = out["rho"]
+                    # Replay the serial probe at the running lower bound:
+                    # the component is included exactly when its optimal
+                    # density beats every earlier (larger) component --
+                    # the same strict comparison the serial loop makes.
+                    if rho <= low:
+                        continue
+                    low = rho
+                    merge_component(set(out["cut"]), rho)
+                if expiry is not None and guard.ACTIVE is not None:
+                    # re-raise in the parent so the degradation path below
+                    # (and api-level fallbacks) see one canonical expiry
+                    guard.ACTIVE.adopt_expiry(expiry[0], expiry[1])
+                    exc = guard.BudgetExceeded(expiry[0], expiry[1], guard.ACTIVE)
+                    exc.attach_incumbent(exc_cut, exc_rho)
+                    raise exc
+            else:
+                for comp_state in ordered:
+                    out = solve_component_state(
+                        comp_state, low=low, kmax=kmax, k_locate=k_locate,
+                        core_of=decomposition.core, pruning3=pruning3, n=n,
+                    )
+                    iterations += out["solves"]
+                    network_sizes.extend(out["network_sizes"])
+                    if out["final_low"] > low:
+                        low = out["final_low"]
+                    merge_component(out["cut"], out["rho"])
         except guard.BudgetExceeded as exc:
             # degrade: keep the densest incumbent seen anywhere -- the
             # pruned-core seeds (best_vertices) are always available, and

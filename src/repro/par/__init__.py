@@ -1,0 +1,233 @@
+"""Parallel execution layer: shared-memory fan-out with serial results.
+
+CoreExact already decomposes every instance into independent
+per-component subproblems, the h=3/4 clique kernels expand disjoint
+vertex ranges, and PRs 2-5 flattened all hot state (CSR adjacency,
+clique rows, arc arrays) into contiguous int64 buffers.  This package
+fans that independent work across a pool of **forked** worker processes
+while keeping results **bit-identical to serial execution**:
+
+* payloads are small pickles; the big buffers travel once through a
+  :mod:`multiprocessing.shared_memory` arena (:mod:`repro.par.shm`);
+* workers are forked, so hash seeds, imported modules and the armed
+  fault plan match the parent, and every set iteration order is
+  reproducible;
+* the parent merges worker results by replaying the serial loop's
+  order and comparisons exactly (see the solvers for the proofs), so
+  densities, cuts and clique rows match the serial run bit for bit;
+* the cross-cutting subsystems ride along rather than being bypassed:
+  worker obs records merge into the parent trace tagged with a worker
+  id, ``guard.Budget`` limits propagate as an absolute deadline plus
+  remaining solve allowance (each worker receives the full remaining
+  allowance -- a deliberate, documented overshoot of at most
+  ``workers×`` on the solve count, never on the deadline), and accel
+  tier selection / failover demotion stay per-process, reported per
+  worker.
+
+Entry points: :func:`map_components` (ordered fan-out of a module-level
+function), :func:`resolve_workers` (the ``workers=`` argument /
+``REPRO_WORKERS`` resolution), :func:`shutdown` (tear down cached
+pools).  Serial fallbacks engage automatically with 0/1 workers, a
+single payload, no fork support, or inside a worker (pools never nest).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Callable, Optional, Sequence
+
+from .. import env, guard, obs
+from . import pool as pool_mod
+from . import shm as shm_mod
+
+__all__ = [
+    "PAR_MIN_EDGES",
+    "LAST_BATCH",
+    "resolve_workers",
+    "map_components",
+    "shutdown",
+]
+
+#: Below this many edges the clique-enumeration surface stays serial:
+#: fork+pickle overhead (~ms) beats the win on toy graphs, and tests on
+#: tiny fixtures should not pay a pool spin-up per call.
+PAR_MIN_EDGES = 4096
+
+#: Introspection: what the most recent :func:`map_components` batch did
+#: (surface, tasks, workers, failures, seconds, per-worker tiers).
+#: Mutated in place, never rebound -- the ``par-safety`` rule's
+#: global-state check stays clean and readers can hold a reference.
+LAST_BATCH: dict = {}
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit argument over ``REPRO_WORKERS``.
+
+    Returns at least 1 (serial).  Inside a worker process the answer is
+    always 1, so fan-out never nests.
+    """
+    if pool_mod.IN_WORKER:
+        return 1
+    if workers is None:
+        workers = int(env.number("REPRO_WORKERS"))
+    return max(1, int(workers))
+
+
+def _importable(fn: Callable) -> tuple[str, str]:
+    """The ``(module, qualname)`` of a pool-safe function.
+
+    Rejects lambdas, closures and anything else a worker could not
+    re-import by name -- the same contract the ``par-safety`` lint rule
+    enforces statically.
+    """
+    mod = getattr(fn, "__module__", None)
+    qual = getattr(fn, "__qualname__", "") or ""
+    if not mod or "<" in qual:
+        raise TypeError(
+            f"map_components needs a module-level function, got {fn!r} "
+            "(lambdas and closures cannot be imported by a worker process)"
+        )
+    obj: object = importlib.import_module(mod)
+    for part in qual.split("."):
+        obj = getattr(obj, part, None)
+    if obj is not fn:
+        raise TypeError(
+            f"map_components needs an importable module-level function; "
+            f"{mod}.{qual} does not resolve back to {fn!r}"
+        )
+    return mod, qual
+
+
+def _budget_limits() -> Optional[dict]:
+    """The active budget's remaining limits, in shippable form."""
+    budget = guard.ACTIVE
+    if budget is None:
+        return None
+    limits = budget.remaining_limits()
+    if not limits:
+        return None
+    spec = dict(limits)
+    if "deadline_s" in spec:
+        # ship the absolute instant: CLOCK_MONOTONIC is system-wide on
+        # Linux, so the deadline means the same thing in every worker
+        # no matter when its task starts
+        spec["deadline_at"] = time.monotonic() + spec.pop("deadline_s")
+    return spec
+
+
+def _serial(fn: Callable, payloads: list, shared: dict) -> list[dict]:
+    """In-process fallback: same outcome shape, no pool."""
+    return [{"status": "ok", "result": fn(payload, shared)} for payload in payloads]
+
+
+def map_components(
+    fn: Callable,
+    payloads: Sequence,
+    *,
+    workers: Optional[int] = None,
+    shared: Optional[dict] = None,
+    surface: str = "par.map",
+) -> list[dict]:
+    """Fan ``fn(payload, shared)`` over a worker pool; ordered outcomes.
+
+    Parameters
+    ----------
+    fn:
+        A module-level function (workers import it by name; lambdas and
+        closures raise ``TypeError``).  Must return picklable data that
+        does not alias the shared buffers.
+    payloads:
+        One small picklable dict (or value) per task.  Outcome ``i``
+        corresponds to ``payloads[i]`` regardless of completion order.
+    workers:
+        Worker count; ``None`` defers to ``REPRO_WORKERS``.  Values <= 1,
+        a single payload, or an unavailable fork context run serially in
+        this process.
+    shared:
+        Named int64 arrays shipped once through a shared-memory arena
+        (lists pickle inline on the numpy-less fallback).  Workers see
+        read-only views under the same names.
+    surface:
+        Label for the ``par.batch`` telemetry event.
+
+    Returns a list of outcome dicts: ``{"status": "ok", "result": ...}``
+    or ``{"status": "budget", "degraded": {site, reason, incumbent,
+    density}}`` when a worker's budget expired.  Worker crashes and
+    exceptions never surface here -- the pool retries those tasks
+    serially in the parent (``par.failover`` events), so a genuine
+    error re-raises with its true traceback.
+    """
+    payloads = list(payloads)
+    shared = shared if shared is not None else {}
+    nworkers = resolve_workers(workers)
+    if nworkers <= 1 or len(payloads) <= 1:
+        return _serial(fn, payloads, shared)
+    mod, qual = _importable(fn)
+    pool = pool_mod.get_pool(min(nworkers, len(payloads)))
+    if pool is None:
+        return _serial(fn, payloads, shared)
+
+    t0 = time.perf_counter()
+    arena, header = shm_mod.create_arena(shared) if shared else (None, None)
+    inline = None if header is not None else shared
+    from .. import accel
+
+    meta = {"trace": obs.ENABLED, "budget": _budget_limits(), "tier": accel.TIER}
+    try:
+        outcomes, failures = pool.run_batch(
+            fn, mod, qual, payloads, header, inline, shared, meta
+        )
+    finally:
+        shm_mod.destroy(arena)
+        if not pool.healthy:
+            pool.close()  # a fresh pool forks lazily on the next batch
+
+    solves = 0
+    tiers: list[str] = []
+    for outcome in outcomes:
+        solves += outcome.get("solves", 0) or 0
+        tier = outcome.get("tier")
+        if tier and tier not in tiers:
+            tiers.append(tier)
+        if obs.ENABLED and outcome.get("records"):
+            obs.merge_child_records(
+                outcome["records"], outcome.get("counters", {}), outcome.get("worker", 0)
+            )
+    if solves and guard.ACTIVE is not None:
+        guard.ACTIVE.absorb_child(solves)
+    seconds = time.perf_counter() - t0
+    obs.event(
+        "par.batch",
+        surface=surface,
+        tasks=len(payloads),
+        workers=pool.nworkers,
+        failures=failures,
+        seconds=seconds,
+    )
+    obs.counter("par.batches")
+    LAST_BATCH.clear()
+    LAST_BATCH.update(
+        surface=surface,
+        tasks=len(payloads),
+        workers=pool.nworkers,
+        failures=failures,
+        seconds=seconds,
+        tiers=tiers,
+    )
+    return [_strip(outcome) for outcome in outcomes]
+
+
+def _strip(outcome: dict) -> dict:
+    if outcome.get("status") == "budget":
+        return {"status": "budget", "degraded": outcome.get("degraded")}
+    return {"status": "ok", "result": outcome.get("result")}
+
+
+def shutdown() -> None:
+    """Tear down every cached worker pool (idempotent).
+
+    Call after arming a new fault plan so freshly forked workers
+    inherit it, or to release processes early; pools re-fork lazily.
+    """
+    pool_mod.shutdown_all()

@@ -1,0 +1,390 @@
+"""Forked worker pool with demand-driven dispatch and serial failover.
+
+The pool is deliberately lower-level than ``multiprocessing.Pool``:
+
+* **fork only.**  Workers are forked, never spawned, so they inherit
+  the parent's hash seed (set iteration orders match), its imported
+  modules, and its armed fault plan.  Platforms without fork get the
+  serial fallback in :func:`repro.par.map_components`.
+* **demand-driven dispatch.**  One task is in flight per worker; the
+  next is sent only after its reply arrives.  Flooding the task pipe
+  can deadlock once replies outgrow the OS pipe buffer (worker blocks
+  on send, stops draining input, parent blocks on send), so the parent
+  multiplexes replies with :func:`multiprocessing.connection.wait`.
+* **serial failover.**  A worker that dies mid-task (crash, injected
+  ``par.worker`` fault) or replies with an error surfaces as a
+  ``par.failover`` event and the task re-runs *in the parent* with the
+  real function -- bit-identical by construction, and a genuine worker
+  exception re-raises with its true traceback.  Unsent tasks of a dead
+  worker are redistributed to the survivors.
+
+Worker bootstrap (:func:`_worker_main`) is the one place in this
+package allowed to touch module-global state (the ``par-safety`` lint
+rule whitelists :data:`WORKER_INIT_FUNCS`): it marks the process as a
+worker, drops inherited parent-side handles (pool registry, obs sink,
+active budget) and then serves tasks until the ``None`` sentinel.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import multiprocessing
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from .. import guard, obs
+from ..guard import faults
+from . import shm as shm_mod
+
+#: Functions allowed to mutate module-global state in this package --
+#: the worker bootstrap path the ``par-safety`` rule recognises.
+WORKER_INIT_FUNCS = ("_worker_main",)
+
+#: True in a forked worker process: ``resolve_workers`` collapses to
+#: serial there, so pools never nest.
+IN_WORKER = False
+
+#: Live pools keyed by worker count.  Mutated in place only (the
+#: ``par-safety`` rule flags rebinding); emptied atexit.
+_POOLS: dict[int, "WorkerPool"] = {}
+
+
+def _resolve(mod: str, qual: str) -> Callable:
+    """Import ``mod`` and walk ``qual`` to the module-level callable."""
+    obj = importlib.import_module(mod)
+    for part in qual.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _localize(limits: dict) -> dict:
+    """Turn the parent's shipped budget limits into Budget kwargs.
+
+    ``deadline_at`` is an absolute ``time.monotonic`` reading -- on
+    Linux CLOCK_MONOTONIC is system-wide, so the parent's deadline
+    instant means the same thing in the worker, however late this task
+    starts.
+    """
+    kwargs: dict = {}
+    if "deadline_at" in limits:
+        kwargs["deadline_s"] = max(0.0, limits["deadline_at"] - time.monotonic())
+    if limits.get("max_solves") is not None:
+        kwargs["max_solves"] = limits["max_solves"]
+    if limits.get("max_arcs") is not None:
+        kwargs["max_arcs"] = limits["max_arcs"]
+    return kwargs
+
+
+def _run_task(wid: int, msg: tuple) -> dict:
+    """Execute one task message; always returns a reply dict."""
+    task_id, mod, qual, payload, header, inline_shared, meta = msg
+    from .. import accel
+
+    arena = None
+    views: Optional[dict] = None
+    try:
+        fn = _resolve(mod, qual)
+        if header is not None:
+            arena, views = shm_mod.attach(header)
+            shared = views
+        else:
+            shared = dict(inline_shared or {})
+        tier = meta.get("tier")
+        if tier and accel.TIER != tier:
+            try:
+                accel.select_tier(tier)
+            except Exception:
+                pass  # tier unavailable here: accel keeps its own fallback
+        tracing = bool(meta.get("trace"))
+        if tracing:
+            obs.enable(fresh=True)
+        status = "ok"
+        result = None
+        degraded = None
+        solves = 0
+        try:
+            limits = meta.get("budget")
+            if limits:
+                budget = guard.Budget(**_localize(limits))
+                try:
+                    with budget:
+                        result = fn(payload, shared)
+                finally:
+                    solves = budget.solves
+            else:
+                result = fn(payload, shared)
+        except guard.BudgetExceeded as exc:
+            status = "budget"
+            degraded = {
+                "site": exc.site,
+                "reason": exc.reason,
+                "incumbent": sorted(exc.incumbent, key=repr)
+                if exc.incumbent is not None
+                else None,
+                "density": exc.incumbent_density,
+            }
+        records: list = []
+        counters: dict = {}
+        if tracing:
+            coll = obs.get_collector()
+            records = list(coll.records)
+            counters = dict(coll.counters)
+            obs.disable()
+            obs.reset()
+        return {
+            "status": status,
+            "task": task_id,
+            "worker": wid,
+            "result": result,
+            "degraded": degraded,
+            "solves": solves,
+            "records": records,
+            "counters": counters,
+            "tier": accel.TIER,
+        }
+    except Exception as exc:
+        return {"status": "err", "task": task_id, "worker": wid, "error": repr(exc)}
+    finally:
+        if views is not None:
+            shm_mod.release(arena, views)
+
+
+def _worker_main(conn, wid: int) -> None:
+    """Worker process entry: serve tasks until the ``None`` sentinel."""
+    global IN_WORKER
+    IN_WORKER = True
+    # Inherited parent-side state is not ours: the pool registry holds
+    # the parent's pipe ends, the obs sink is the parent's open file,
+    # and a Budget the parent entered before forking binds the parent.
+    _POOLS.clear()
+    obs.detach_sink()
+    obs.disable()
+    obs.reset()
+    guard.ACTIVE = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        try:
+            # chaos hook: an armed ``par.worker`` plan simulates a crash
+            # (exit without replying -> the parent sees EOF and fails over)
+            faults.maybe_raise("par.worker", "proc")
+        except faults.InjectedFault:
+            break
+        reply = _run_task(wid, msg)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+class WorkerPool:
+    """A fixed set of forked workers connected by duplex pipes."""
+
+    __slots__ = ("nworkers", "procs", "conns", "alive")
+
+    def __init__(self, nworkers: int):
+        ctx = multiprocessing.get_context("fork")
+        if shm_mod.available():
+            # The arena invariant (see shm.py) is that parent and
+            # children share ONE resource tracker, so attach-time
+            # registrations collapse into the single set entry the
+            # parent's unlink consumes.  That only holds if the tracker
+            # exists before the fork -- otherwise each child's first
+            # attach spawns a private tracker that outlives the batch
+            # and warns about the parent-unlinked segment at exit.
+            from multiprocessing import resource_tracker
+
+            try:
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker-less platform
+                pass
+        self.nworkers = nworkers
+        self.procs: list = []
+        self.conns: list = []
+        self.alive: list[bool] = []
+        for wid in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, wid),
+                daemon=True,
+                name=f"repro-par-{wid}",
+            )
+            proc.start()
+            # closed immediately so a worker's death EOFs its pipe (and
+            # later-forked siblings never inherit this write end)
+            child_conn.close()
+            self.procs.append(proc)
+            self.conns.append(parent_conn)
+            self.alive.append(True)
+
+    @property
+    def healthy(self) -> bool:
+        return all(self.alive)
+
+    def run_batch(
+        self,
+        fn: Callable,
+        mod: str,
+        qual: str,
+        payloads: list,
+        header: Optional[dict],
+        inline_shared: Optional[dict],
+        shared_local: dict,
+        meta: dict,
+    ) -> tuple[list, int]:
+        """Fan ``payloads`` over the workers; ordered replies + failover count."""
+        from multiprocessing.connection import wait
+
+        ntasks = len(payloads)
+        outcomes: list = [None] * ntasks
+        pending: list[deque] = [deque() for _ in range(self.nworkers)]
+        inflight: list[Optional[int]] = [None] * self.nworkers
+        failures = 0
+        for tid in range(ntasks):
+            pending[tid % self.nworkers].append(tid)
+
+        def retry_serial(tid: int, wid: int, error: str) -> None:
+            nonlocal failures
+            failures += 1
+            obs.event("par.failover", task=tid, worker=wid, error=error)
+            obs.counter("par.failover")
+            outcomes[tid] = {
+                "status": "ok",
+                "task": tid,
+                "worker": wid,
+                "result": fn(payloads[tid], shared_local),
+                "solves": 0,
+                "records": [],
+                "counters": {},
+                "retried": True,
+            }
+
+        def reassign(wid: int) -> None:
+            """Move a dead worker's unsent queue to the survivors."""
+            leftovers = pending[wid]
+            pending[wid] = deque()
+            targets = [w for w in range(self.nworkers) if self.alive[w]]
+            if not targets:
+                while leftovers:
+                    retry_serial(leftovers.popleft(), wid, "pool exhausted")
+                return
+            for i, tid in enumerate(leftovers):
+                pending[targets[i % len(targets)]].append(tid)
+
+        def on_death(wid: int, error: str) -> None:
+            self.alive[wid] = False
+            try:
+                self.conns[wid].close()
+            except OSError:  # pragma: no cover
+                pass
+            tid = inflight[wid]
+            inflight[wid] = None
+            if tid is not None:
+                retry_serial(tid, wid, error)
+            reassign(wid)
+
+        try:
+            while True:
+                for wid in range(self.nworkers):
+                    while self.alive[wid] and inflight[wid] is None and pending[wid]:
+                        tid = pending[wid].popleft()
+                        msg = (tid, mod, qual, payloads[tid], header, inline_shared, meta)
+                        try:
+                            self.conns[wid].send(msg)
+                            inflight[wid] = tid
+                        except (BrokenPipeError, OSError) as exc:
+                            pending[wid].appendleft(tid)
+                            on_death(wid, f"send failed: {exc!r}")
+                waiting = [
+                    self.conns[w]
+                    for w in range(self.nworkers)
+                    if self.alive[w] and inflight[w] is not None
+                ]
+                if not waiting:
+                    if any(self.alive[w] and pending[w] for w in range(self.nworkers)):
+                        continue  # reassigned work for an earlier idle worker
+                    break
+                for conn in wait(waiting):
+                    wid = self.conns.index(conn)
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        on_death(wid, f"worker exited: {exc!r}")
+                        continue
+                    tid = inflight[wid]
+                    inflight[wid] = None
+                    if reply.get("status") == "err":
+                        # a real exception: replay in the parent so it
+                        # either re-raises with a true traceback or
+                        # proves the failure was transient
+                        retry_serial(tid, wid, reply.get("error", "worker error"))
+                    else:
+                        outcomes[tid] = reply
+        except BaseException:
+            self.close()
+            raise
+        for tid in range(ntasks):  # pragma: no cover - scheduler safety net
+            if outcomes[tid] is None:
+                retry_serial(tid, 0, "scheduler fallthrough")
+        for wid in range(self.nworkers):
+            if not self.alive[wid]:
+                self.procs[wid].join(timeout=0.5)
+        return outcomes, failures
+
+    def close(self) -> None:
+        """Send the shutdown sentinel, close pipes, reap the processes."""
+        if _POOLS.get(self.nworkers) is self:
+            del _POOLS[self.nworkers]
+        for wid, conn in enumerate(self.conns):
+            if self.alive[wid]:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            self.alive[wid] = False
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self.procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+
+def get_pool(nworkers: int) -> Optional[WorkerPool]:
+    """A healthy cached pool of ``nworkers``, or None when unavailable."""
+    if IN_WORKER or nworkers <= 1:
+        return None
+    pool = _POOLS.get(nworkers)
+    if pool is not None:
+        if pool.healthy:
+            return pool
+        pool.close()
+    try:
+        pool = WorkerPool(nworkers)
+    except (ValueError, OSError):  # no fork / fd or process limits
+        return None
+    _POOLS[nworkers] = pool
+    return pool
+
+
+def shutdown_all() -> None:
+    """Tear down every cached pool (idempotent; registered atexit)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+
+
+atexit.register(shutdown_all)

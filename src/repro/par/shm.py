@@ -1,0 +1,126 @@
+"""Shared-memory arenas: zero-copy transport of flat int64 buffers.
+
+The hot state the solvers fan out -- edge lists, canonical clique rows,
+CSR adjacency -- already lives in contiguous ``int64`` numpy arrays
+(PRs 2-5 flattened it on purpose).  An *arena* packs a named set of
+such arrays into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment; workers attach read-only views by name and offset, so a batch
+of tasks ships kilobyte-sized pickled payloads while the megabyte-sized
+buffers cross the process boundary exactly once, copy-free.
+
+Layout: the parent concatenates the fields back to back and sends a
+small ``header`` dict (segment name + per-field ``(offset, length)``)
+over the task pipe.  Workers call :func:`attach`; the parent calls
+:func:`destroy` once the batch completes.
+
+Two sharp edges this module owns:
+
+* ``resource_tracker`` double-accounting (cpython issue 82300): on
+  POSIX every ``SharedMemory`` open -- attach included -- registers the
+  segment with the tracker.  Workers are *forked*, so parent and
+  children share one tracker process whose cache is a **set**: the
+  duplicate registrations collapse to the parent's single entry, which
+  :func:`destroy`'s unlink consumes.  The pool starts the tracker
+  *before* forking for exactly this reason -- a child whose first
+  attach has to spawn its own tracker would keep a private registration
+  no unlink ever clears.  Children therefore must *not*
+  unregister on detach (that would strip the parent's entry and make
+  the final unlink warn), and must never unlink.
+* ``BufferError`` on close: a ``SharedMemory`` segment cannot close
+  while numpy views of its buffer are alive, so :func:`release` drops
+  the views first and tolerates stragglers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # gated exactly like the kernels: numpy may be absent
+    from .. import env as _env
+
+    if _env.flag("REPRO_NO_NUMPY"):
+        np = None
+    else:
+        import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    np = None
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - minimal platforms
+    shared_memory = None  # type: ignore[assignment]
+
+
+def available() -> bool:
+    """Whether shared-memory transport can be used at all."""
+    return np is not None and shared_memory is not None
+
+
+def create_arena(fields: dict) -> tuple[Optional[object], Optional[dict]]:
+    """Pack named int64 arrays into one shared segment.
+
+    Returns ``(shm, header)``; both are ``None`` when shared memory is
+    unavailable or every field is empty (callers fall back to inline
+    pickling).  The header is picklable and self-describing:
+    ``{"name": segment, "fields": {key: (offset, length)}}`` with
+    lengths in elements, not bytes.
+    """
+    if not available():
+        return None, None
+    total = sum(int(a.size) for a in fields.values())
+    if total == 0:
+        return None, None
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total * 8))
+    layout: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for key, arr in fields.items():
+        flat = np.ascontiguousarray(arr, dtype=np.int64).reshape(-1)
+        view = np.ndarray((flat.size,), dtype=np.int64, buffer=shm.buf, offset=offset * 8)
+        view[:] = flat
+        layout[key] = (offset, int(flat.size))
+        offset += int(flat.size)
+        del view
+    return shm, {"name": shm.name, "fields": layout}
+
+
+def attach(header: dict) -> tuple[object, dict]:
+    """Attach to an arena created by :func:`create_arena`.
+
+    Returns ``(shm, views)`` where ``views`` maps field name to a
+    read-only int64 array aliasing the shared buffer.  The caller must
+    hand both to :func:`release` when done.
+    """
+    # Attaching registers the segment with the fork-shared resource
+    # tracker a second time; the tracker's cache is a set, so this is
+    # idempotent and the parent's unlink unregisters the single entry.
+    shm = shared_memory.SharedMemory(name=header["name"])
+    views = {}
+    for key, (offset, length) in header["fields"].items():
+        view = np.ndarray((length,), dtype=np.int64, buffer=shm.buf, offset=offset * 8)
+        view.flags.writeable = False
+        views[key] = view
+    return shm, views
+
+
+def release(shm: object, views: Optional[dict]) -> None:
+    """Drop a worker's views and close its attachment (never unlinks)."""
+    if views is not None:
+        views.clear()
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a straggler view still alive
+        pass
+
+
+def destroy(shm: Optional[object]) -> None:
+    """Parent-side teardown: close and unlink the segment."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reaped
+        pass

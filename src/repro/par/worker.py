@@ -1,0 +1,127 @@
+"""Module-level worker entry points for the parallel fan-out surfaces.
+
+Every function the pool runs must be importable by name in the worker
+process (the ``par-safety`` rule enforces it), so the per-component
+solver tasks live here rather than as closures inside the solvers.
+Each entry takes ``(payload, shared)``: a small picklable payload dict
+plus the shared-memory views (or inline arrays on the numpy-less
+fallback), and returns plain picklable data -- never views into the
+shared buffer.
+
+Determinism: a component graph is rebuilt by inserting vertices in the
+parent's ``labels`` order (``Graph`` adjacency is an insertion-ordered
+dict, so the worker's internal id space and iteration order match the
+parent's exactly) and the clique rows are the parent's canonical
+subindex rows verbatim -- the flow networks built from them are
+bit-identical to what the parent's serial loop would build.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+
+
+def _as_ints(buf) -> list[int]:
+    """A shared int64 view (or plain list) as a list of python ints."""
+    if buf is None:
+        return []
+    if isinstance(buf, list):
+        return [int(x) for x in buf]
+    return [int(x) for x in buf.tolist()]
+
+
+def rebuild_graph(labels: list, esrc, edst) -> Graph:
+    """The component graph from its label list and internal-id edge arrays."""
+    graph = Graph(vertices=labels)
+    src = _as_ints(esrc)
+    dst = _as_ints(edst)
+    for i in range(len(src)):
+        graph.add_edge(labels[src[i]], labels[dst[i]])
+    return graph
+
+
+def rebuild_index(graph: Graph, h: int, rows):
+    """The component's canonical CliqueIndex from parent subindex rows."""
+    if h < 3:
+        return None
+    from ..cliques.index import CliqueIndex
+
+    return CliqueIndex.from_rows(graph, h, _as_ints(rows))
+
+
+def solve_component(payload: dict, shared: dict) -> dict:
+    """One CoreExact component subproblem (GGT walk or binary search).
+
+    Runs :func:`repro.core.core_exact.solve_component_state` -- the same
+    function the serial loop calls -- on a rebuilt component state.  A
+    ``BudgetExceeded`` escapes with the component incumbent attached;
+    the pool harness turns it into a degraded outcome.
+    """
+    from ..core.core_exact import _ComponentState, solve_component_state
+
+    cid = payload["cid"]
+    labels = payload["labels"]
+    h = payload["h"]
+    graph = rebuild_graph(labels, shared[f"c{cid}.esrc"], shared[f"c{cid}.edst"])
+    index = rebuild_index(graph, h, shared.get(f"c{cid}.rows"))
+    state = _ComponentState(graph, h, payload["flow_engine"], index=index)
+    core_vals = _as_ints(shared[f"c{cid}.core"])
+    core_of = {labels[i]: core_vals[i] for i in range(len(labels))}
+    out = solve_component_state(
+        state,
+        low=payload["low"],
+        kmax=payload["kmax"],
+        k_locate=payload["k_locate"],
+        core_of=core_of,
+        pruning3=payload["pruning3"],
+        n=payload["n"],
+    )
+    cut = out["cut"]
+    return {
+        "cut": list(cut) if cut is not None else None,
+        "rho": out["rho"],
+        "solves": out["solves"],
+        "network_sizes": out["network_sizes"],
+        "final_low": out["final_low"],
+    }
+
+
+def exact_component(payload: dict, shared: dict) -> dict:
+    """One Exact (Algorithm 1) component: a GGT walk from α = 0."""
+    from ..core.exact import ggt_component_walk
+
+    cid = payload["cid"]
+    labels = payload["labels"]
+    h = payload["h"]
+    graph = rebuild_graph(labels, shared[f"c{cid}.esrc"], shared[f"c{cid}.edst"])
+    index = rebuild_index(graph, h, shared.get(f"c{cid}.rows"))
+    out = ggt_component_walk(graph, h, index)
+    cut = out["cut"]
+    return {
+        "cut": list(cut) if cut is not None else None,
+        "rho": out["rho"],
+        "solves": out["solves"],
+        "nodes": out["nodes"],
+    }
+
+
+def clique_range(payload: dict, shared: dict) -> bytes:
+    """Canonical clique rows whose first vertex lies in ``[lo, hi)``.
+
+    Returns the ``(rows × h)`` int64 array as raw bytes; the parent
+    concatenates the byte strings in range order, which reproduces the
+    serial kernel output exactly (rows are lexicographic, and a vertex
+    range owns a contiguous slice of them).
+    """
+    from ..cliques import kernels
+
+    rows = kernels.rows_for_range(
+        payload["n"],
+        payload["h"],
+        payload["lo"],
+        payload["hi"],
+        shared["dptr"],
+        shared["ddst"],
+        shared["keys"],
+    )
+    return rows.tobytes()

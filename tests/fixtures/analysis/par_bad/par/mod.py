@@ -1,0 +1,29 @@
+"""Planted par-safety violations (see tests/test_analysis.py)."""
+import os
+
+WORKER_INIT_FUNCS = ("_worker_main",)
+
+COUNT = 0
+IN_WORKER = False
+
+
+def fan_out(par, payloads):
+    def local_fn(payload, shared):
+        return payload
+
+    par.map_components(lambda p, s: p, payloads)  # expect[par-safety]
+    par.map_components(local_fn, payloads)  # expect[par-safety]
+
+
+def bump():
+    global COUNT  # expect[par-safety]
+    COUNT += 1
+
+
+def _worker_main(conn, wid):
+    global IN_WORKER
+    IN_WORKER = True
+
+
+def read_env():
+    return os.getenv("REPRO_WORKERS")  # expect[par-safety]

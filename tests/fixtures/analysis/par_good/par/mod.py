@@ -1,0 +1,28 @@
+"""Clean twin: importable entry, registered init path, env via registry."""
+from repro import env
+
+WORKER_INIT_FUNCS = ("_worker_main",)
+
+IN_WORKER = False
+
+LAST_BATCH: dict = {}
+
+
+def entry(payload, shared):
+    return payload
+
+
+def _worker_main(conn, wid):
+    global IN_WORKER
+    IN_WORKER = True
+
+
+def fan_out(par, payloads):
+    outcomes = par.map_components(entry, payloads)
+    LAST_BATCH.clear()
+    LAST_BATCH.update(tasks=len(payloads))
+    return outcomes
+
+
+def workers():
+    return int(env.number("REPRO_WORKERS"))

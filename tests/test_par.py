@@ -1,0 +1,285 @@
+"""Property suite for the parallel execution layer (:mod:`repro.par`).
+
+The load-bearing contract: **parallel results are bit-identical to
+serial**, for every solver surface, at every worker count, with numpy
+on or off, under injected worker crashes, and under expiring budgets.
+A 50-graph matrix of multi-component random graphs pins it:
+
+* CoreExact / Exact vertex sets and densities for workers ∈ {1, 2, 4}
+  equal the serial run's exactly (``==`` on floats, not approx);
+* the canonical ``CliqueIndex`` row list built through the chunked
+  parallel enumeration is byte-identical to the serial kernel's;
+* peeling (never parallelised) is unaffected by the ``workers`` knob;
+* a worker killed by fault injection (``REPRO_FAULT``-style plan) is
+  failed over serially in the parent -- same result, ``par.failover``
+  telemetry recorded;
+* an expired :class:`repro.guard.Budget` under parallel CoreExact
+  degrades exactly like serial: incumbent result plus a valid density
+  bracket, never an exception or a deadlock.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import api, guard, obs, par
+from repro.cliques.index import CliqueIndex
+from repro.core.core_exact import core_exact_densest
+from repro.core.exact import exact_densest
+from repro.graph.graph import Graph
+from repro.guard import faults
+
+REPO = Path(__file__).resolve().parent.parent
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    yield
+    par.shutdown()
+
+
+def _graph(seed: int) -> Graph:
+    """A multi-component random graph: 2-4 blobs of 8-16 vertices."""
+    rng = random.Random(seed)
+    comps = 2 + seed % 3
+    p = 0.25 + 0.05 * (seed % 3)
+    g = Graph()
+    base = 0
+    for _ in range(comps):
+        n = 8 + 2 * rng.randrange(5)
+        verts = list(range(base, base + n))
+        for v in verts:
+            g.add_vertex(v)
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                if rng.random() < p:
+                    g.add_edge(u, v)
+        base += n
+    return g
+
+
+def _h(seed: int) -> int:
+    return (2, 3, 4)[seed % 3]
+
+
+def _clones(seed: int, copies: int = 3, n: int = 12, p: float = 0.3) -> Graph:
+    """``copies`` label-shifted copies of one random blob.
+
+    Identical structure means identical clique-core numbers, so
+    CoreExact's locate-core pruning keeps every component and the
+    fan-out path is guaranteed to engage.
+    """
+    rng = random.Random(seed)
+    edges = [
+        (i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p
+    ]
+    g = Graph()
+    for c in range(copies):
+        base = c * n
+        for v in range(base, base + n):
+            g.add_vertex(v)
+        for i, j in edges:
+            g.add_edge(base + i, base + j)
+    return g
+
+
+# --- the 50-graph identity matrix -------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_core_exact_parallel_is_bit_identical(seed):
+    g, h = _graph(seed), _h(seed)
+    serial = core_exact_densest(g, h)
+    for workers in WORKER_COUNTS:
+        parallel = core_exact_densest(g, h, workers=workers)
+        assert parallel.vertices == serial.vertices, (seed, h, workers)
+        assert parallel.density == serial.density, (seed, h, workers)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+def test_exact_parallel_is_bit_identical(seed):
+    g, h = _graph(seed), _h(seed)
+    serial = exact_densest(g, h)
+    for workers in (2, 4):
+        parallel = exact_densest(g, h, workers=workers)
+        assert parallel.vertices == serial.vertices, (seed, h, workers)
+        assert parallel.density == serial.density, (seed, h, workers)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 7))
+def test_clique_index_rows_byte_identical(seed, monkeypatch):
+    # lower the fan-out floor so toy graphs exercise the chunked path
+    monkeypatch.setattr(par, "PAR_MIN_EDGES", 1)
+    g = _graph(seed)
+    for h in (3, 4):
+        serial = CliqueIndex(g, h)
+        for workers in (2, 4):
+            chunked = CliqueIndex(g, h, workers=workers)
+            assert chunked.inst == serial.inst, (seed, h, workers)
+            assert chunked.m == serial.m
+
+
+@pytest.mark.parametrize("seed", (3, 11))
+def test_peel_orders_unaffected_by_workers(seed):
+    g, h = _graph(seed), _h(seed)
+    serial = api.densest_subgraph(g, h, method="peel")
+    parallel = api.densest_subgraph(g, h, method="peel", workers=4)
+    assert parallel.vertices == serial.vertices
+    assert parallel.density == serial.density
+    assert parallel.iterations == serial.iterations
+
+
+def test_api_densest_subgraph_threads_workers():
+    g = _clones(4)
+    serial = api.densest_subgraph(g, 3, method="core-exact")
+    par.LAST_BATCH.clear()
+    parallel = api.densest_subgraph(g, 3, method="core-exact", workers=2)
+    assert parallel.vertices == serial.vertices
+    assert parallel.density == serial.density
+    assert par.LAST_BATCH.get("surface") == "core_exact.components"
+    assert par.LAST_BATCH.get("workers") == 2
+
+
+# --- the numpy-off leg ------------------------------------------------
+
+
+def test_matrix_holds_without_numpy():
+    """Pure-python tier: arena falls back to inline pickles, same bits."""
+    script = (
+        "import sys; sys.path.insert(0, 'tests'); sys.path.insert(0, 'src')\n"
+        "from test_par import _graph, _h\n"
+        "from repro.core.core_exact import core_exact_densest\n"
+        "from repro import par\n"
+        "for seed in (1, 8):\n"
+        "    g, h = _graph(seed), _h(seed)\n"
+        "    serial = core_exact_densest(g, h)\n"
+        "    parallel = core_exact_densest(g, h, workers=2)\n"
+        "    assert parallel.vertices == serial.vertices, seed\n"
+        "    assert parallel.density == serial.density, seed\n"
+        "par.shutdown()\n"
+        "print('identical')\n"
+    )
+    env = dict(os.environ, REPRO_NO_NUMPY="1", PYTHONPATH="src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script], cwd=REPO, env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "identical" in proc.stdout
+
+
+# --- chaos: a worker dies mid-batch -----------------------------------
+
+
+def test_worker_crash_fails_over_to_identical_result():
+    g, h = _graph(13), 2
+    serial = core_exact_densest(g, h)
+    par.shutdown()  # fresh forks must inherit the armed fault plan
+    faults.inject("par.worker", nth=1)
+    try:
+        obs.enable(fresh=True)
+        parallel = core_exact_densest(g, h, workers=2)
+        counters = dict(obs.get_collector().counters)
+        obs.disable()
+    finally:
+        faults.reset()
+        par.shutdown()
+    assert parallel.vertices == serial.vertices
+    assert parallel.density == serial.density
+    assert counters.get("par.failover", 0) >= 1
+
+
+# --- budgets under parallel execution ---------------------------------
+
+
+def test_deadline_honored_under_parallel_core_exact():
+    """An already-expired deadline ships to workers as an absolute
+    instant; every component degrades, and the parent returns the
+    incumbent with a valid density bracket instead of raising."""
+    g = _graph(7)
+    with guard.Budget(deadline_s=1e-4):
+        result = core_exact_densest(g, 2, workers=2)
+    stats = result.stats
+    assert stats.get("degraded") is True
+    assert "deadline" in stats["degraded_reason"]
+    assert result.vertices
+    assert stats["density_lower_bound"] == result.density
+    assert stats["density_lower_bound"] <= stats["density_upper_bound"]
+
+
+def test_max_solves_degrades_with_incumbent_under_parallel():
+    # pruning off: the per-component walks genuinely need > 1 solve,
+    # so the shipped solve allowance expires inside the workers
+    g = _clones(10)
+    with guard.Budget(max_solves=1) as budget:
+        result = core_exact_densest(g, 2, pruning1=False, pruning2=False, workers=2)
+    stats = result.stats
+    assert stats.get("degraded") is True
+    assert result.vertices
+    assert result.density == stats["density_lower_bound"]
+    assert stats["density_upper_bound"] >= stats["density_lower_bound"]
+    # worker solves were folded back into the parent budget
+    assert budget.solves >= 1
+
+
+def test_serial_and_parallel_degrade_to_the_same_incumbent():
+    g = _clones(16)
+    with guard.Budget(max_solves=1):
+        serial = core_exact_densest(g, 2, pruning1=False, pruning2=False)
+    with guard.Budget(max_solves=1):
+        parallel = core_exact_densest(g, 2, pruning1=False, pruning2=False, workers=2)
+    # both land on budget-degraded results with sound brackets; the
+    # pruned-core seeds are budget-free, so the incumbents coincide
+    assert serial.stats.get("degraded") and parallel.stats.get("degraded")
+    assert parallel.vertices == serial.vertices
+    assert parallel.density == serial.density
+
+
+# --- the map_components primitive -------------------------------------
+
+
+def _double(payload, shared):
+    return payload * 2
+
+
+def _sum_shared(payload, shared):
+    return payload + sum(int(x) for x in shared["xs"])
+
+
+def test_map_components_preserves_order():
+    outcomes = par.map_components(_double, list(range(8)), workers=2)
+    assert [o["status"] for o in outcomes] == ["ok"] * 8
+    assert [o["result"] for o in outcomes] == [i * 2 for i in range(8)]
+
+
+def test_map_components_ships_shared_arrays():
+    np = pytest.importorskip("numpy")
+    xs = np.asarray([1, 2, 3], dtype=np.int64)
+    outcomes = par.map_components(
+        _sum_shared, [10, 20], workers=2, shared={"xs": xs}
+    )
+    assert [o["result"] for o in outcomes] == [16, 26]
+
+
+def test_map_components_rejects_lambdas():
+    with pytest.raises(TypeError, match="module-level"):
+        par.map_components(lambda p, s: p, [1, 2], workers=2)
+
+
+def test_resolve_workers_env_default(monkeypatch):
+    assert par.resolve_workers(3) == 3
+    assert par.resolve_workers(0) == 1
+    # the suite itself may run under an ambient REPRO_WORKERS (the CI
+    # workers=2 leg does exactly that); pin both directions explicitly
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert par.resolve_workers(None) == 1  # REPRO_WORKERS defaults to 0
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert par.resolve_workers(None) == 4
