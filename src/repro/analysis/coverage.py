@@ -41,6 +41,7 @@ ENTRY_POINTS: dict[str, tuple[str, ...]] = {
     "core/exact.py": ("exact_densest",),
     "core/core_exact.py": ("core_exact_densest",),
     "core/peel.py": ("peel_densest",),
+    "serve/__init__.py": ("get_snapshot", "batch_densest"),
 }
 
 #: ``guard.<attr>`` reads that count as a budget checkpoint hookup.

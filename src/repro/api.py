@@ -17,7 +17,7 @@ paper's algorithm matrix:
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from . import guard, obs
 from .cliques.index import CliqueIndex
@@ -37,6 +37,9 @@ from .graph.graph import Graph
 from .graph.validate import validate_graph
 from .guard import sanitize
 from .patterns.pattern import Pattern, get_pattern
+
+if TYPE_CHECKING:  # import-light: the serve package imports api lazily
+    from .serve.snapshot import Snapshot
 
 PatternLike = Union[int, str, Pattern]
 
@@ -109,6 +112,7 @@ def densest_subgraph(
     *,
     strict: bool = True,
     workers: Optional[int] = None,
+    snapshot: Optional["Snapshot"] = None,
 ) -> DensestSubgraphResult:
     """Find the Ψ-densest subgraph of ``graph``.
 
@@ -146,6 +150,14 @@ def densest_subgraph(
         defers to ``REPRO_WORKERS`` (default 0); values <= 1 run
         serially.  Results are bit-identical to serial execution at any
         worker count.
+    snapshot:
+        A precomputed :class:`repro.serve.Snapshot` of ``(graph, h)``:
+        the call becomes a pure lookup over the stored breakpoint
+        family -- zero enumeration, zero flow solves -- returning the
+        bit-identical exact answer.  Valid only for h-clique motifs
+        with the exact methods (``auto`` / ``exact`` / ``core-exact``);
+        ``strict`` additionally verifies the snapshot's content-hash
+        key against ``graph`` (an O(n + m) hash, still no solver work).
 
     Notes
     -----
@@ -170,6 +182,41 @@ def densest_subgraph(
     if strict:
         validate_graph(graph)
     pattern = resolve_pattern(psi)
+    if snapshot is not None:
+        if not pattern.is_clique():
+            raise ValueError(
+                "snapshot= serves h-clique motifs only; pattern queries "
+                "take the regular solver path"
+            )
+        if snapshot.h != pattern.size:
+            raise ValueError(
+                f"snapshot was precomputed for h={snapshot.h}, "
+                f"query asks for h={pattern.size}"
+            )
+        if method not in ("auto", "exact", "core-exact"):
+            raise ValueError(
+                f"snapshot= answers the exact methods (auto/exact/core-exact); "
+                f"got method={method!r}"
+            )
+        if strict and not snapshot.matches(graph):
+            raise ValueError(
+                "snapshot key does not match this graph (content hash "
+                "differs -- different vertices, edges, or flow-layer EPS); "
+                "rebuild the snapshot or pass strict=False"
+            )
+        with obs.span(
+            "api.densest_subgraph",
+            method="snapshot",
+            psi=pattern.size,
+            n=graph.num_vertices,
+        ):
+            result = snapshot.densest_subgraph()
+        if guard.CHECK:
+            sanitize.check_result_density(
+                graph, result.vertices, pattern.size, result.density,
+                "densest_subgraph",
+            )
+        return result
     if method == "auto":
         method = "core-exact" if graph.num_vertices <= AUTO_EXACT_LIMIT else "core-app"
 

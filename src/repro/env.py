@@ -110,6 +110,21 @@ REGISTRY: dict[str, EnvVar] = {
             "variable.",
         ),
         _var(
+            "REPRO_SNAPSHOT_DIR", "text", "",
+            "Directory of the default snapshot store (``repro.serve``): "
+            "precomputed query artifacts persist to "
+            "``<dir>/snapshots.sqlite`` (WAL) and survive process "
+            "restarts.  Empty (the default) keeps the default cache "
+            "memory-only.",
+        ),
+        _var(
+            "REPRO_SNAPSHOT_CAP", "number", 0,
+            "LRU byte cap for the default snapshot store: after each "
+            "save, least-recently-used snapshots are evicted until the "
+            "store fits (eviction counters feed the obs serve rollup).  "
+            "0 means unbounded.",
+        ),
+        _var(
             "REPRO_BENCH_SCALE", "number", 0.25,
             "Scale factor for the benchmark surrogate datasets (the bench "
             "suite's smoke runs use 0.1).",

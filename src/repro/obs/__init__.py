@@ -154,11 +154,14 @@ class Collector:
     def summary(self) -> dict:
         """Roll the raw records up into a per-run profile.
 
-        Returns ``{"env", "spans", "events", "counters", "flow"}``:
-        per-span-name call counts and total seconds, per-event-name
-        counts, the counter map, and the flow-solve aggregate (solve
-        count, warm/cold split, per-mode / per-tier / per-BFS-mode
-        counts, pass totals, total solve seconds).
+        Returns ``{"env", "spans", "events", "counters", "flow",
+        "serve"}``: per-span-name call counts and total seconds,
+        per-event-name counts, the counter map, the flow-solve
+        aggregate (solve count, warm/cold split, per-mode / per-tier /
+        per-BFS-mode counts, pass totals, total solve seconds), and the
+        snapshot-cache rollup (hit/miss/load counts, evictions per
+        tier, and the hit ratio ``(hits + loads) / lookups`` -- the
+        serving layer's load metric; ``None`` before any lookup).
 
         Each span aggregate carries both ``total_s`` -- the *work*, the
         plain sum of durations -- and ``wall_s``, the length of the
@@ -216,12 +219,29 @@ class Collector:
                 flow["seconds"] += fields.get("seconds", 0.0) or 0.0
         for name, spans_of in intervals.items():
             spans[name]["wall_s"] += _union_length(spans_of)
+        counters = dict(self.counters)
+        hits = counters.get("serve.hits", 0)
+        misses = counters.get("serve.misses", 0)
+        loads = counters.get("serve.loads", 0)
+        lookups = hits + misses + loads
+        serve = {
+            "hits": hits,
+            "misses": misses,
+            "loads": loads,
+            "precomputes": counters.get("serve.precomputes", 0),
+            "evictions": {
+                "memory": counters.get("serve.evictions.memory", 0),
+                "store": counters.get("serve.evictions.store", 0),
+            },
+            "hit_ratio": ((hits + loads) / lookups) if lookups else None,
+        }
         return {
             "env": env_fingerprint(),
             "spans": spans,
             "events": events,
-            "counters": dict(self.counters),
+            "counters": counters,
             "flow": flow,
+            "serve": serve,
         }
 
 

@@ -41,7 +41,7 @@ ENV_KEYS = (
     "kernel_tiers",
 )
 FLOW_MODES = ("noop", "advance", "checkpoint", "retreat", "cold")
-SUMMARY_KEYS = ("env", "spans", "events", "counters", "flow")
+SUMMARY_KEYS = ("env", "spans", "events", "counters", "flow", "serve")
 
 
 class Field(NamedTuple):
@@ -122,6 +122,24 @@ EVENT_SCHEMAS: dict[str, dict[str, Field]] = {
         "task": Field("int", nonneg=True),
         "worker": Field("int", nonneg=True),
         "error": Field("str"),
+    },
+    # snapshot resolved from the in-memory cache tier (serve/cache.py)
+    "serve.hit": {
+        "key": Field("str"),
+        "h": Field("int"),
+    },
+    # snapshot not cached anywhere: the full precompute ran (serve/cache.py)
+    "serve.miss": {
+        "key": Field("str"),
+        "h": Field("int"),
+        "seconds": Field("number", required=False, nonneg=True),
+    },
+    # snapshot reconstructed from the persistence tier (serve/store.py)
+    "serve.load": {
+        "key": Field("str"),
+        "h": Field("int"),
+        "seconds": Field("number", required=False, nonneg=True),
+        "bytes": Field("int", required=False, nonneg=True),
     },
 }
 

@@ -105,6 +105,44 @@ def exact_component(payload: dict, shared: dict) -> dict:
     }
 
 
+def serve_lookup(payload: dict, shared: dict) -> dict:
+    """One warm density lookup over a shared breakpoint family.
+
+    The parent ships the family as flat int64 arrays (``serve.entoff``
+    segments one component's entries, ``serve.alphabits`` the breakpoint
+    α values as IEEE-754 bit patterns, ``serve.counts`` / ``serve.sizes``
+    each cut's exact instance count and vertex count); the query α
+    arrives the same way in ``payload["alpha_bits"]``.  Every stored α
+    is >= 0, and non-negative doubles order identically to their bit
+    patterns as signed ints, so the right-continuous binary search
+    (last entry with α_i <= α) runs on integers -- no float arithmetic
+    anywhere in the worker, hence nothing to round.  Returns the global
+    entry indices of the non-empty applicable cuts plus their summed
+    count/size; the parent maps entries back to vertex sets.
+    """
+    from bisect import bisect_right
+
+    qbits = payload["alpha_bits"]
+    entoff = _as_ints(shared["serve.entoff"])
+    bits = _as_ints(shared["serve.alphabits"])
+    counts = _as_ints(shared["serve.counts"])
+    sizes = _as_ints(shared["serve.sizes"])
+    entries: list[int] = []
+    count = 0
+    size = 0
+    for c in range(len(entoff) - 1):
+        lo, hi = entoff[c], entoff[c + 1]
+        if lo == hi:
+            continue
+        i = max(lo, bisect_right(bits, qbits, lo, hi) - 1)
+        if sizes[i] == 0:
+            continue
+        entries.append(i)
+        count += counts[i]
+        size += sizes[i]
+    return {"entries": entries, "count": count, "size": size}
+
+
 def clique_range(payload: dict, shared: dict) -> bytes:
     """Canonical clique rows whose first vertex lies in ``[lo, hi)``.
 
